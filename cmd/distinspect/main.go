@@ -1,0 +1,83 @@
+// Command distinspect prints summary statistics and a coarse histogram of
+// the benchmark input distributions, for validating the generator against
+// the Helman–Bader–JáJá definitions used by the paper.
+//
+// Usage:
+//
+//	distinspect -n 1000000 -dist staggered -p 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "sample size")
+		distStr = flag.String("dist", "random", "distribution: random|gauss|buckets|staggered|all")
+		p       = flag.Int("p", dist.DefaultP, "block parameter of Buckets/Staggered")
+		seed    = flag.Uint64("seed", 42, "seed")
+		bins    = flag.Int("bins", 32, "histogram bins")
+	)
+	flag.Parse()
+
+	kinds := dist.Kinds
+	if *distStr != "all" {
+		k, err := dist.Parse(*distStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kinds = []dist.Kind{k}
+	}
+	for _, k := range kinds {
+		vs := dist.GenerateP(k, *n, *seed, *p)
+		inspect(k, vs, *bins)
+	}
+}
+
+func inspect(k dist.Kind, vs []int32, bins int) {
+	var min, max int32 = math.MaxInt32, math.MinInt32
+	var sum float64
+	hist := make([]int, bins)
+	width := float64(1<<31) / float64(bins)
+	for _, v := range vs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += float64(v)
+		hist[int(float64(v)/width)]++
+	}
+	mean := sum / float64(len(vs))
+	var varsum float64
+	for _, v := range vs {
+		d := float64(v) - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(len(vs)))
+	fmt.Printf("%s: n=%d min=%d max=%d mean=%.0f sd=%.0f\n", k, len(vs), min, max, mean, sd)
+	peak := 0
+	for _, h := range hist {
+		if h > peak {
+			peak = h
+		}
+	}
+	for i, h := range hist {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", h*60/peak)
+		}
+		fmt.Printf("  [%5.2f,%5.2f)·2³⁰ %9d %s\n",
+			float64(i)*width/float64(1<<30), float64(i+1)*width/float64(1<<30), h, bar)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,142 @@
+// Command mmqsort sorts a generated input with a selectable algorithm and
+// reports timing — a command-line front end to the repository's sorting
+// stack, convenient for one-off comparisons.
+//
+// Usage:
+//
+//	mmqsort -n 10000000 -dist staggered -algo mmpar -p 8
+//	mmqsort -n 8388607 -algo fork -cutoff 256
+//	mmqsort -n 1000000 -algo all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/msort"
+	"repro/internal/qsort"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10_000_000, "number of 4-byte integers to sort")
+		distStr = flag.String("dist", "random", "distribution: random|gauss|buckets|staggered")
+		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|msort|all (all excludes msort)")
+		p       = flag.Int("p", 0, "workers (default NumCPU)")
+		seed    = flag.Uint64("seed", 42, "input seed")
+		reps    = flag.Int("reps", 1, "repetitions")
+		cutoff  = flag.Int("cutoff", qsort.DefaultCutoff, "sequential cutoff")
+		block   = flag.Int("block", qsort.DefaultBlockSize, "partition block size (mmpar)")
+		minBlk  = flag.Int("minblocks", qsort.DefaultMinBlocksPerThread, "min blocks per partitioning thread (mmpar)")
+		stats   = flag.Bool("stats", false, "print scheduler statistics")
+	)
+	flag.Parse()
+
+	kind, err := dist.Parse(*distStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	input := dist.Generate(kind, *n, *seed)
+	buf := make([]int32, *n)
+
+	algos := []string{*algo}
+	if *algo == "all" {
+		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar"}
+	}
+	for _, a := range algos {
+		var best, total time.Duration
+		var schedStats string
+		for r := 0; r < *reps; r++ {
+			copy(buf, input)
+			var el time.Duration
+			switch a {
+			case "seq":
+				start := time.Now()
+				qsort.Introsort(buf)
+				el = time.Since(start)
+			case "seqqs":
+				start := time.Now()
+				qsort.SequentialQuicksortCutoff(buf, *cutoff)
+				el = time.Since(start)
+			case "fork":
+				s := core.New(core.Options{P: *p, Seed: *seed})
+				start := time.Now()
+				qsort.ForkJoinCore(s, buf, *cutoff)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "randfork":
+				s := classic.New(classic.Options{P: *p, Seed: *seed})
+				start := time.Now()
+				qsort.ForkJoinClassic(s, buf, *cutoff)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "cilk":
+				s := cilk.New(cilk.Options{P: *p, Seed: *seed})
+				start := time.Now()
+				qsort.ForkJoinCilk(s, buf, *cutoff)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "cilksample":
+				s := cilk.New(cilk.Options{P: *p, Seed: *seed})
+				start := time.Now()
+				qsort.SampleCilk(s, buf, *cutoff)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "mmpar":
+				s := core.New(core.Options{P: *p, Seed: *seed})
+				opt := qsort.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk}
+				start := time.Now()
+				qsort.MixedMode(s, buf, opt)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "msort":
+				s := core.New(core.Options{P: *p, Seed: *seed})
+				start := time.Now()
+				msort.Sort(s, buf, msort.Options{Cutoff: *cutoff})
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			default:
+				fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", a)
+				os.Exit(2)
+			}
+			if !qsort.IsSorted(buf) {
+				fmt.Fprintf(os.Stderr, "%s: OUTPUT NOT SORTED\n", a)
+				os.Exit(1)
+			}
+			total += el
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		fmt.Printf("%-11s n=%d dist=%-9s avg=%v best=%v\n",
+			a, *n, kind, total/time.Duration(*reps), best)
+		if *stats && schedStats != "" {
+			fmt.Printf("  stats: %s\n", schedStats)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command stress tortures the team-building scheduler with randomized mixed
+// workloads and verifies the execution invariants: every task runs exactly
+// once per required thread, local ids are a permutation of 0…r−1, and the
+// scheduler quiesces. It is the repository's protocol-correctness fuzzer;
+// run it for minutes or hours when touching internal/core.
+//
+// Usage:
+//
+//	stress -p 8 -rounds 200 -tasks 500 -seed 1
+//	stress -p 6 -randomized          # non-power-of-two p + Refinement 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		p          = flag.Int("p", 8, "workers")
+		rounds     = flag.Int("rounds", 100, "stress rounds")
+		tasks      = flag.Int("tasks", 300, "root tasks per round")
+		seed       = flag.Uint64("seed", 1, "prng seed")
+		randomized = flag.Bool("randomized", false, "randomized stealing (Refinement 4)")
+		noReuse    = flag.Bool("noreuse", false, "disband teams after every task")
+		verbose    = flag.Bool("v", false, "per-round progress")
+	)
+	flag.Parse()
+
+	s := core.New(core.Options{
+		P: *p, Randomized: *randomized, DisableTeamReuse: *noReuse, Seed: *seed,
+	})
+	defer s.Shutdown()
+	rng := dist.NewRNG(*seed)
+	maxTeam := s.MaxTeam()
+
+	start := time.Now()
+	for round := 0; round < *rounds; round++ {
+		var execs, want, badLocal atomic.Int64
+		for i := 0; i < *tasks; i++ {
+			// Random requirement, biased toward small tasks like real
+			// workloads; includes non-power-of-two requirements.
+			r := 1
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				r = 1
+			case 3:
+				r = 1 << rng.Intn(topo.Log2Floor(maxTeam)+1)
+			case 4:
+				r = 1 + rng.Intn(maxTeam)
+			}
+			want.Add(int64(r))
+			depth := rng.Intn(3)
+			s.Spawn(makeTask(r, depth, maxTeam, &execs, &badLocal, &want, rng.Next()))
+		}
+		s.Wait()
+		if got := execs.Load(); got != want.Load() {
+			fmt.Fprintf(os.Stderr, "round %d: executions %d, want %d\n%s\n",
+				round, got, want.Load(), s.DumpState())
+			os.Exit(1)
+		}
+		if b := badLocal.Load(); b != 0 {
+			fmt.Fprintf(os.Stderr, "round %d: %d bad local-id observations\n", round, b)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("round %d ok: %d executions\n", round, execs.Load())
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("OK: %d rounds in %v\n  %s\n", *rounds, time.Since(start).Round(time.Millisecond), st)
+}
+
+// makeTask builds a task requiring r threads; the team member with local id
+// 0 spawns child tasks down to the given depth. All members validate their
+// local id range and count executions.
+func makeTask(r, depth, maxTeam int, execs, badLocal, want *atomic.Int64, seed uint64) core.Task {
+	return core.Func(r, func(ctx *core.Ctx) {
+		execs.Add(1)
+		if ctx.LocalID() < 0 || ctx.LocalID() >= ctx.TeamSize() || ctx.TeamSize() != r {
+			badLocal.Add(1)
+		}
+		ctx.Barrier()
+		if ctx.LocalID() == 0 && depth > 0 {
+			rng := dist.NewRNG(seed)
+			for i := 0; i < 2; i++ {
+				cr := 1 + rng.Intn(maxTeam)
+				want.Add(int64(cr))
+				ctx.Spawn(makeTask(cr, depth-1, maxTeam, execs, badLocal, want, rng.Next()))
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro"
+)
+
+// ExampleNewScheduler shows the basic lifecycle: create, run, shut down.
+func ExampleNewScheduler() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	var sum atomic.Int64
+	s.Run(repro.Solo(func(ctx *repro.Ctx) {
+		for i := 1; i <= 10; i++ {
+			i := i
+			ctx.Spawn(repro.Solo(func(*repro.Ctx) { sum.Add(int64(i)) }))
+		}
+	}))
+	fmt.Println(sum.Load())
+	// Output: 55
+}
+
+// ExampleFunc runs a data-parallel team task: four workers execute the same
+// task simultaneously with distinct local ids.
+func ExampleFunc() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	var mask atomic.Int64
+	s.Run(repro.Func(4, func(ctx *repro.Ctx) {
+		mask.Or(1 << ctx.LocalID()) // each member contributes one bit
+		ctx.Barrier()
+	}))
+	fmt.Printf("%04b\n", mask.Load())
+	// Output: 1111
+}
+
+// ExampleTaskGroup shows fork/join synchronization over single-threaded
+// children (the paper's async/sync of Algorithm 10).
+func ExampleTaskGroup() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	squares := make([]int, 5)
+	s.Run(repro.Solo(func(ctx *repro.Ctx) {
+		var g repro.TaskGroup
+		for i := range squares {
+			i := i
+			g.Go(ctx, func(*repro.Ctx) { squares[i] = i * i })
+		}
+		g.Wait(ctx) // helps execute children instead of blocking
+	}))
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16]
+}
+
+// ExampleSortMixedMode sorts with the paper's mixed-mode parallel Quicksort.
+func ExampleSortMixedMode() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	data := repro.GenerateInput(repro.Staggered, 1_000_000, 7)
+	repro.SortMixedMode(s, data, repro.MMOptions{})
+	fmt.Println(sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }))
+	// Output: true
+}
+
+// ExampleCtx_LocalID computes each team member's slice of a shared array —
+// the standard SPMD chunking pattern.
+func ExampleCtx_LocalID() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	data := make([]int, 16)
+	s.Run(repro.Func(4, func(ctx *repro.Ctx) {
+		w, lid := ctx.TeamSize(), ctx.LocalID()
+		lo, hi := lid*len(data)/w, (lid+1)*len(data)/w
+		for i := lo; i < hi; i++ {
+			data[i] = lid
+		}
+	}))
+	fmt.Println(data)
+	// Output: [0 0 0 0 1 1 1 1 2 2 2 2 3 3 3 3]
+}

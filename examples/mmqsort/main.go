@@ -1,0 +1,64 @@
+// Mixed-mode Quicksort example: sorts each of the paper's four input
+// distributions with the sequential baseline, the fork-join parallel
+// quicksort (Algorithm 10) and the mixed-mode quicksort (Algorithm 11),
+// reporting speedups — a miniature of the paper's Tables 1–10.
+//
+//	go run ./examples/mmqsort [-n 10000000] [-p 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 10_000_000, "elements per distribution")
+	p := flag.Int("p", 0, "workers (default NumCPU)")
+	flag.Parse()
+
+	s := repro.NewScheduler(repro.Options{P: *p})
+	defer s.Shutdown()
+	fmt.Printf("sorting %d ints per distribution on %d workers (max team %d)\n\n",
+		*n, s.P(), s.MaxTeam())
+	fmt.Printf("%-10s %12s %12s %6s %12s %6s\n",
+		"dist", "sequential", "fork-join", "SU", "mixed-mode", "SU")
+
+	for _, kind := range []repro.Distribution{repro.Random, repro.Gauss, repro.Buckets, repro.Staggered} {
+		input := repro.GenerateInput(kind, *n, 42)
+		buf := make([]int32, *n)
+
+		copy(buf, input)
+		seq := timeIt(func() { repro.SortSequential(buf) })
+		verify(buf)
+
+		copy(buf, input)
+		fork := timeIt(func() { repro.SortForkJoin(s, buf) })
+		verify(buf)
+
+		copy(buf, input)
+		mm := timeIt(func() { repro.SortMixedMode(s, buf, repro.MMOptions{}) })
+		verify(buf)
+
+		fmt.Printf("%-10v %12v %12v %6.2f %12v %6.2f\n",
+			kind, seq.Round(time.Millisecond), fork.Round(time.Millisecond),
+			seq.Seconds()/fork.Seconds(), mm.Round(time.Millisecond),
+			seq.Seconds()/mm.Seconds())
+	}
+}
+
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+func verify(data []int32) {
+	for i := 1; i < len(data); i++ {
+		if data[i] < data[i-1] {
+			panic("output not sorted")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package backoff provides the exponential backoff used by all polling
+// loops in the schedulers.
+//
+// The paper's prototype uses exponential backoff "starting at 1 microsecond,
+// and going up to 10 milliseconds" (§4). Because our hardware threads are
+// goroutines, the early iterations spin and yield to the Go runtime
+// (runtime.Gosched) before falling back to timed sleeps, which keeps the
+// scheduler from fighting the runtime's own scheduler during short waits.
+package backoff
+
+import (
+	"runtime"
+	"time"
+)
+
+// Default bounds, matching §4 of the paper.
+const (
+	DefaultMin = 1 * time.Microsecond
+	DefaultMax = 10 * time.Millisecond
+
+	// spinRounds is the number of busy-spin iterations before yielding.
+	spinRounds = 4
+	// yieldRounds is the number of Gosched iterations before sleeping.
+	yieldRounds = 8
+)
+
+// Backoff is a per-worker exponential backoff. The zero value uses the
+// default bounds. Not safe for concurrent use (each worker owns one).
+type Backoff struct {
+	Min time.Duration // 0 means DefaultMin
+	Max time.Duration // 0 means DefaultMax
+	n   int           // consecutive Wait calls since the last Reset
+}
+
+// Reset clears the backoff after successful work was found.
+func (b *Backoff) Reset() { b.n = 0 }
+
+// Attempts returns the number of consecutive Wait calls since the last Reset.
+func (b *Backoff) Attempts() int { return b.n }
+
+// Wait blocks for the current backoff duration and escalates: a few spin
+// rounds, then runtime.Gosched, then exponentially growing sleeps capped at
+// Max.
+func (b *Backoff) Wait() {
+	n := b.n
+	b.n++
+	switch {
+	case n < spinRounds:
+		spin(1 << uint(n+4)) // 16..128 pause iterations
+	case n < spinRounds+yieldRounds:
+		runtime.Gosched()
+	default:
+		min, max := b.Min, b.Max
+		if min <= 0 {
+			min = DefaultMin
+		}
+		if max <= 0 {
+			max = DefaultMax
+		}
+		k := n - spinRounds - yieldRounds
+		d := min << uint(k)
+		if d > max || d <= 0 {
+			d = max
+		}
+		time.Sleep(d)
+	}
+}
+
+//go:noinline
+func spin(iters int) {
+	for i := 0; i < iters; i++ {
+		// Empty loop; noinline keeps the compiler from removing it.
+	}
+}

@@ -1,0 +1,68 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEscalation(t *testing.T) {
+	var b Backoff
+	// Spin + yield rounds must be fast.
+	start := time.Now()
+	for i := 0; i < spinRounds+yieldRounds; i++ {
+		b.Wait()
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("spin/yield rounds took %v", d)
+	}
+	if b.Attempts() != spinRounds+yieldRounds {
+		t.Fatalf("Attempts = %d", b.Attempts())
+	}
+	// First sleep round must be at least Min.
+	start = time.Now()
+	b.Wait()
+	if d := time.Since(start); d < DefaultMin {
+		t.Fatalf("first sleep %v < min %v", d, DefaultMin)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 20; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts after Reset = %d", b.Attempts())
+	}
+	start := time.Now()
+	b.Wait() // back to spinning
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("post-reset wait took %v, expected a spin", d)
+	}
+}
+
+func TestSleepCap(t *testing.T) {
+	b := Backoff{Min: time.Microsecond, Max: 2 * time.Millisecond}
+	// Drive deep into the sleep regime; each wait must stay near Max.
+	for i := 0; i < spinRounds+yieldRounds+15; i++ {
+		b.Wait()
+	}
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("capped sleep took %v, cap was 2ms", d)
+	}
+}
+
+func TestCustomBounds(t *testing.T) {
+	b := Backoff{Min: 100 * time.Microsecond, Max: time.Millisecond}
+	for i := 0; i < spinRounds+yieldRounds; i++ {
+		b.Wait()
+	}
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d < 100*time.Microsecond {
+		t.Fatalf("custom min not honored: %v", d)
+	}
+}

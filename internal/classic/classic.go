@@ -1,0 +1,246 @@
+// Package classic implements the standard randomized work-stealing scheduler
+// of §2 of the paper (Algorithms 1–4): per-worker lock-free deques, random
+// victim selection, and bulk stealing of half the victim's queue via
+// popappend. It only supports single-threaded tasks and is the baseline
+// behind the paper's "Randfork" column.
+//
+// The paper reports that "random work-stealing is much more sensible to
+// tuning-parameters, and requires some more tricks to work well"; this
+// implementation deliberately follows the plain textbook algorithm (random
+// victim, steal-half, exponential backoff after a failed attempt) without
+// extra tricks, matching what the paper measured.
+package classic
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/deque"
+	"repro/internal/stats"
+)
+
+// Task is a single-threaded unit of work.
+type Task interface {
+	Run(ctx *Ctx)
+}
+
+type funcTask func(*Ctx)
+
+func (f funcTask) Run(ctx *Ctx) { f(ctx) }
+
+// Func adapts a function to the Task interface.
+func Func(fn func(*Ctx)) Task { return funcTask(fn) }
+
+// Ctx is the execution context of a running task.
+type Ctx struct {
+	w *worker
+}
+
+// Spawn pushes t onto the executing worker's deque.
+func (c *Ctx) Spawn(t Task) { c.w.spawn(t) }
+
+// WorkerID returns the executing worker's id.
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// Options configures the scheduler.
+type Options struct {
+	// P is the number of workers. Default: runtime.NumCPU().
+	P int
+	// MaxSteal caps the number of tasks transferred per steal (the MAX_STEAL
+	// constant of Algorithm 3). 0 means "half the victim's queue" with no cap.
+	MaxSteal int
+	// StealOne forces single-task steals (ablation).
+	StealOne bool
+	// PinOSThreads locks workers to OS threads.
+	PinOSThreads bool
+	// Seed seeds victim selection.
+	Seed uint64
+}
+
+type node struct{ task Task }
+
+type worker struct {
+	id    int
+	sched *Scheduler
+	q     *deque.Deque[node]
+	st    stats.Worker
+	bo    backoff.Backoff
+	rng   uint64
+}
+
+// Scheduler is a classical randomized work-stealing scheduler.
+type Scheduler struct {
+	opts     Options
+	workers  []*worker
+	inflight atomic.Int64
+	done     atomic.Bool
+	wg       sync.WaitGroup
+
+	injectMu sync.Mutex
+	inject   []*node
+}
+
+// New starts the scheduler's workers.
+func New(opts Options) *Scheduler {
+	if opts.P <= 0 {
+		opts.P = runtime.NumCPU()
+	}
+	s := &Scheduler{opts: opts}
+	s.workers = make([]*worker, opts.P)
+	for i := range s.workers {
+		s.workers[i] = &worker{
+			id:    i,
+			sched: s,
+			q:     deque.New[node](),
+			rng:   opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15,
+		}
+	}
+	s.wg.Add(opts.P)
+	for _, w := range s.workers {
+		go w.loop()
+	}
+	return s
+}
+
+// P returns the number of workers.
+func (s *Scheduler) P() int { return len(s.workers) }
+
+// Spawn submits a task from outside the scheduler.
+func (s *Scheduler) Spawn(t Task) {
+	s.inflight.Add(1)
+	s.injectMu.Lock()
+	s.inject = append(s.inject, &node{task: t})
+	s.injectMu.Unlock()
+}
+
+// Wait blocks until all tasks have completed.
+func (s *Scheduler) Wait() {
+	var bo backoff.Backoff
+	for s.inflight.Load() > 0 {
+		bo.Wait()
+	}
+}
+
+// Run submits t and waits for quiescence.
+func (s *Scheduler) Run(t Task) {
+	s.Spawn(t)
+	s.Wait()
+}
+
+// Shutdown stops all workers (idempotent; abandons outstanding work).
+func (s *Scheduler) Shutdown() {
+	s.done.Store(true)
+	s.wg.Wait()
+}
+
+// Stats aggregates all worker counters.
+func (s *Scheduler) Stats() stats.Snapshot {
+	var total stats.Snapshot
+	for _, w := range s.workers {
+		total.Add(w.st.Snapshot())
+	}
+	return total
+}
+
+func (s *Scheduler) takeInjected(w *worker) bool {
+	s.injectMu.Lock()
+	if len(s.inject) == 0 {
+		s.injectMu.Unlock()
+		return false
+	}
+	n := s.inject[0]
+	s.inject = s.inject[1:]
+	s.injectMu.Unlock()
+	w.q.PushBottom(n)
+	return true
+}
+
+func (w *worker) spawn(t Task) {
+	w.sched.inflight.Add(1)
+	w.q.PushBottom(&node{task: t})
+	w.st.Spawns.Add(1)
+}
+
+func (w *worker) rand() uint64 {
+	w.rng += 0x9e3779b97f4a7c15
+	z := w.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (w *worker) run(n *node) {
+	ctx := Ctx{w: w}
+	w.st.TasksRun.Add(1)
+	n.task.Run(&ctx)
+	w.sched.taskDone()
+	w.bo.Reset()
+}
+
+func (s *Scheduler) taskDone() { s.inflight.Add(-1) }
+
+// loop is Algorithm 1/2: run local tasks; when the local queue empties,
+// steal from a random victim; back off after failed attempts.
+func (w *worker) loop() {
+	defer w.sched.wg.Done()
+	if w.sched.opts.PinOSThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	s := w.sched
+	for !s.done.Load() {
+		if n := w.q.PopBottom(); n != nil {
+			w.run(n)
+			continue
+		}
+		if s.takeInjected(w) {
+			continue
+		}
+		if w.stealTasks() {
+			continue
+		}
+		w.st.FailedAttempts.Add(1)
+		w.st.Backoffs.Add(1)
+		w.bo.Wait()
+	}
+}
+
+// stealTasks is Algorithm 3: choose a random victim and transfer
+// min(size/2, MAX_STEAL) tasks; the last stolen task is executed directly.
+func (w *worker) stealTasks() bool {
+	s := w.sched
+	p := len(s.workers)
+	if p == 1 {
+		return false
+	}
+	w.st.StealAttempts.Add(1)
+	v := int(w.rand() % uint64(p-1))
+	if v >= w.id {
+		v++
+	}
+	victim := s.workers[v]
+	sz := victim.q.Size()
+	if sz == 0 {
+		return false
+	}
+	cnt := sz / 2
+	if cnt < 1 {
+		cnt = 1
+	}
+	if m := s.opts.MaxSteal; m > 0 && cnt > m {
+		cnt = m
+	}
+	if s.opts.StealOne {
+		cnt = 1
+	}
+	last, n := deque.Steal(victim.q, w.q, cnt)
+	if n == 0 {
+		return false
+	}
+	w.st.Steals.Add(1)
+	w.st.TasksStolen.Add(int64(n))
+	w.run(last)
+	return true
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"repro/internal/reg"
+	"repro/internal/teamsync"
+	"repro/internal/topo"
+)
+
+// coordinate drains the worker's own queues: single-threaded tasks run
+// directly; multi-threaded tasks are coordinated through the full team
+// lifecycle (Algorithm 6, with Refinement 1 level selection and team
+// persistence per §3.1). It returns when the queues hold no coordinatable
+// work, when the worker yielded its coordination to a conflicting
+// coordinator, or on shutdown.
+func (w *worker) coordinate() {
+	s := w.sched
+	for !s.done.Load() {
+		if w.coordp() != w {
+			return // yielded inside pollPartners
+		}
+		r := w.regw.Load()
+		lvl := w.chooseLevel(r)
+		if lvl < 0 {
+			// No coordinatable work: release any team / pending registrants
+			// before the worker turns thief ("the team will dissolve ... as
+			// soon as the current coordinator's queue runs empty").
+			w.dropCoordination(r)
+			return
+		}
+		target := 1 << uint(lvl)
+		if target == 1 && r.Team <= 1 {
+			// Classical work-stealing fast path. If a gathering for a larger
+			// task was in progress, revoke it first (new smaller task: a←t,
+			// N++, §3 registration structure rules).
+			if r.Req != 1 || r.Acq != 1 {
+				if !w.regw.CAS(r, reg.R{Req: 1, Acq: 1, Team: 1, Epoch: r.Epoch + 1}) {
+					w.casFail()
+				}
+				continue
+			}
+			if n := w.queues[0].PopBottom(); n != nil {
+				w.runSolo(n)
+			}
+			continue
+		}
+		w.st.TeamsCoordd.Add(1)
+		switch {
+		case int(r.Team) == target:
+			// Team already fixed at the right size: execute directly
+			// ("Teams can stay to process further tasks requiring the same
+			// number of threads; this requires no further coordination").
+			w.publishAndRun(lvl, target)
+		case int(r.Team) < target:
+			if int(r.Req) != target {
+				nr := r
+				nr.Req = uint16(target)
+				if int(r.Req) > target {
+					// The advertisement shrinks: registrants acquired for the
+					// larger block may lie outside the new one, so "we have
+					// to reset [a] to the number of teamed threads and
+					// increment the new counter N to ensure that no invalid
+					// thread has registered" (§3).
+					nr.Acq = r.Team
+					nr.Epoch = r.Epoch + 1
+				}
+				if !w.regw.CAS(r, nr) {
+					w.casFail()
+					continue
+				}
+				w.ev(evGrowAdvertise, w.id, target, int(nr.Epoch))
+			}
+			w.gather(lvl, target)
+		default: // r.Team > target: shrink deterministically to my block
+			if w.regw.CAS(r, reg.R{
+				Req: uint16(target), Acq: uint16(target),
+				Team: uint16(target), Epoch: r.Epoch + 1,
+			}) {
+				w.ev(evShrink, w.id, target, int(r.Epoch)+1)
+			} else {
+				w.casFail()
+			}
+		}
+	}
+}
+
+// chooseLevel picks the queue level to coordinate next: the current team's
+// level while it still has work (Refinement 1: "when a team of threads works
+// on a queue, it continues working on this queue, even if queues containing
+// smaller tasks get filled again"), otherwise the lowest non-empty level
+// whose team block fits this worker (Refinement 3). Returns −1 if no
+// coordinatable work exists.
+func (w *worker) chooseLevel(r reg.R) int {
+	if r.Team > 1 {
+		tl := topo.Log2Floor(int(r.Team))
+		if tl < len(w.queues) && !w.queues[tl].Empty() {
+			return tl
+		}
+	}
+	p := w.sched.topo.P
+	for j := 0; j < len(w.queues); j++ {
+		if w.queues[j].Empty() {
+			continue
+		}
+		if j == 0 || topo.BlockFits(w.id, 1<<uint(j), p) {
+			return j
+		}
+		// A task this worker cannot host (its block exceeds p); leave it for
+		// a thief whose block fits and keep scanning.
+	}
+	return -1
+}
+
+// preemptLevel reports the lowest non-empty fitting level strictly below
+// lvl, honoring team persistence (levels below the current team size are
+// only run after the team's queue empties). Returns −1 if gathering should
+// continue.
+func (w *worker) preemptLevel(r reg.R, lvl int) int {
+	low := 0
+	if r.Team > 1 {
+		low = topo.Log2Floor(int(r.Team))
+	}
+	p := w.sched.topo.P
+	for j := low; j < lvl; j++ {
+		if w.queues[j].Empty() {
+			continue
+		}
+		if j == 0 || topo.BlockFits(w.id, 1<<uint(j), p) {
+			return j
+		}
+	}
+	return -1
+}
+
+// dropCoordination releases all coordination state: pending registrants are
+// revoked and any team is disbanded (epoch bump).
+func (w *worker) dropCoordination(r reg.R) {
+	for r.Req != 1 || r.Acq != 1 || r.Team != 1 {
+		if w.regw.CAS(r, reg.R{Req: 1, Acq: 1, Team: 1, Epoch: r.Epoch + 1}) {
+			w.ev(evDisband, w.id, int(r.Acq), int(r.Epoch)+1)
+			return
+		}
+		w.casFail()
+		r = w.regw.Load()
+	}
+}
+
+// gather waits for the remaining team members to register (a == r), fixing
+// the team with the single CAS of Algorithm 6 once they have. While waiting
+// it polls its partners to help the team form and to resolve conflicts, and
+// it abandons the gathering if smaller tasks arrive (they always win, §3).
+func (w *worker) gather(lvl, target int) {
+	s := w.sched
+	for !s.done.Load() {
+		if w.coordp() != w {
+			return // lost a conflict and registered elsewhere
+		}
+		r := w.regw.Load()
+		if int(r.Req) != target {
+			return // advertisement changed; re-evaluate in coordinate()
+		}
+		if int(r.Acq) >= target {
+			if w.regw.CAS(r, reg.R{
+				Req: uint16(target), Acq: uint16(target),
+				Team: uint16(target), Epoch: r.Epoch,
+			}) {
+				w.ev(evTeamFixed, w.id, target, int(r.Epoch))
+				w.publishAndRun(lvl, target)
+				return
+			}
+			w.casFail()
+			continue
+		}
+		if pl := w.preemptLevel(r, lvl); pl >= 0 {
+			// A smaller task appeared: revoke the non-teamed registrants
+			// (a ← t, N++) and let coordinate() restart at the lower level.
+			t := r.Team
+			if t < 1 {
+				t = 1
+			}
+			if w.regw.CAS(r, reg.R{Req: t, Acq: t, Team: t, Epoch: r.Epoch + 1}) {
+				w.ev(evPreempt, w.id, int(t), int(r.Epoch)+1)
+			} else {
+				w.casFail()
+			}
+			return
+		}
+		w.pollPartners(w, target)
+		w.st.Backoffs.Add(1)
+		w.bo.Wait()
+	}
+}
+
+// publishAndRun pops the bottom task of queue lvl and executes it with the
+// fixed team of the given size. The coordinator participates if its
+// team-local id lies below the task's width, waits until every member has
+// picked the execution up and every participant has finished, and only then
+// proceeds (so registration-word transitions never race with a running
+// team execution).
+func (w *worker) publishAndRun(lvl, target int) {
+	s := w.sched
+	n := w.queues[lvl].PopBottom()
+	if n == nil {
+		// The task was stolen while the team formed. The team persists; the
+		// coordinate() loop re-evaluates (and disbands if nothing is left).
+		return
+	}
+	if target == 1 {
+		w.runSolo(n)
+		return
+	}
+	exec := &teamExec{
+		task:     n.task,
+		teamSize: target,
+		width:    n.r,
+		coordID:  w.id,
+		gen:      s.nextGen(),
+		barrier:  teamsync.NewBarrier(n.r),
+	}
+	exec.started.Store(int32(target - 1))
+	exec.done.Store(int32(n.r))
+	w.lastGen = exec.gen
+	w.cur.Store(exec)
+	w.ev(evPublish, w.id, target, int(exec.gen))
+	w.st.TeamsFormed.Add(1)
+	if lid := topo.LocalID(w.id, w.id, target); lid < n.r {
+		w.runTeamPart(exec, lid)
+	}
+	// Wait until all team members observed this execution (the countdown G
+	// of the paper) and all width participants finished running.
+	for exec.started.Load() > 0 && !s.done.Load() {
+		w.bo.Wait()
+	}
+	for exec.done.Load() > 0 && !s.done.Load() {
+		w.bo.Wait()
+	}
+	w.cur.Store(nil)
+	w.ev(evExecDone, w.id, target, int(exec.gen))
+	w.bo.Reset()
+	s.taskDone()
+	if s.opts.DisableTeamReuse {
+		w.dropCoordination(w.regw.Load())
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpState renders the live scheduler state for diagnostics (cmd/stress and
+// deadlock investigation in tests). It is racy by design: all fields are read
+// with atomics but the combined picture is approximate.
+func (s *Scheduler) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inflight=%d injected=%d\n", s.inflight.Load(), func() int {
+		s.injectMu.Lock()
+		defer s.injectMu.Unlock()
+		return len(s.inject)
+	}())
+	for _, w := range s.workers {
+		r := w.regw.Load()
+		c := w.coordp()
+		cur := w.cur.Load()
+		fmt.Fprintf(&b, "w%-3d coord=%-3d reg=%v q=[", w.id, c.id, r)
+		for j, q := range w.queues {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", q.Size())
+		}
+		b.WriteString("]")
+		if cur != nil {
+			fmt.Fprintf(&b, " exec{size:%d width:%d gen:%d started:%d done:%d}",
+				cur.teamSize, cur.width, cur.gen, cur.started.Load(), cur.done.Load())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package core
+
+import "sync/atomic"
+
+// Data-parallel loop helpers: the paper's motivation (§1) is that classical
+// work-stealing breaks data-parallel loops into independent chunk tasks and
+// therefore "provides no means of ensuring simultaneous scheduling" — teams
+// do. These helpers package the two standard loop schedules as team tasks.
+
+// ForStatic returns a team task of np threads executing body over the index
+// range [0, n) with a static block schedule: member i processes the i-th of
+// np near-equal contiguous chunks. All members reach an implicit barrier
+// before the task completes, so callers may treat the whole range as done
+// when the task's completion is observed.
+func ForStatic(np, n int, body func(ctx *Ctx, lo, hi int)) Task {
+	return Func(np, func(ctx *Ctx) {
+		w, lid := ctx.TeamSize(), ctx.LocalID()
+		lo := lid * n / w
+		hi := (lid + 1) * n / w
+		if lo < hi {
+			body(ctx, lo, hi)
+		}
+		ctx.Barrier()
+	})
+}
+
+// ForDynamic returns a team task of np threads executing body over [0, n)
+// with a dynamic schedule: members repeatedly claim chunks of the given size
+// from a shared counter, which balances irregular per-index costs inside the
+// team (the same end-pointer acquisition pattern as the paper's
+// data-parallel partitioning step). chunk ≤ 0 selects n/(8·np), at least 1.
+func ForDynamic(np, n, chunk int, body func(ctx *Ctx, lo, hi int)) Task {
+	if chunk <= 0 {
+		chunk = n / (8 * np)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var next atomic.Int64
+	return Func(np, func(ctx *Ctx) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(ctx, lo, hi)
+		}
+		ctx.Barrier()
+	})
+}
+
+// TeamFor splits [0, n) across the members of the currently executing task's
+// team with a static schedule and calls body on this member's chunk. It must
+// be called by every member of the team (it is a collective operation: a
+// barrier follows the chunk). For single-threaded tasks it degenerates to
+// body(0, n).
+func (c *Ctx) TeamFor(n int, body func(lo, hi int)) {
+	w, lid := c.TeamSize(), c.LocalID()
+	lo := lid * n / w
+	hi := (lid + 1) * n / w
+	if lo < hi {
+		body(lo, hi)
+	}
+	c.Barrier()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForStaticCoversRange(t *testing.T) {
+	s := newTest(t, Options{P: 8})
+	const n = 10000
+	hits := make([]atomic.Int32, n)
+	s.Run(ForStatic(8, n, func(_ *Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	}))
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForStaticUnevenSplit(t *testing.T) {
+	s := newTest(t, Options{P: 8})
+	const n = 10 // fewer indices than the 8 team members
+	hits := make([]atomic.Int32, n)
+	var calls atomic.Int32
+	s.Run(ForStatic(8, n, func(_ *Ctx, lo, hi int) {
+		calls.Add(1)
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	}))
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+	if calls.Load() > 8 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestForStaticEmptyRange(t *testing.T) {
+	s := newTest(t, Options{P: 4})
+	var calls atomic.Int32
+	s.Run(ForStatic(4, 0, func(*Ctx, int, int) { calls.Add(1) })) // must not hang
+	if calls.Load() != 0 {
+		t.Fatal("body called on empty range")
+	}
+}
+
+func TestForDynamicCoversRange(t *testing.T) {
+	s := newTest(t, Options{P: 8})
+	const n = 12345
+	hits := make([]atomic.Int32, n)
+	s.Run(ForDynamic(8, n, 100, func(_ *Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	}))
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForDynamicBalancesIrregularWork(t *testing.T) {
+	s := newTest(t, Options{P: 4})
+	const n = 4096
+	var perWorker [4]atomic.Int64
+	s.Run(ForDynamic(4, n, 16, func(ctx *Ctx, lo, hi int) {
+		perWorker[ctx.LocalID()].Add(int64(hi - lo))
+		// Irregular cost: early indices are much more expensive.
+		if lo < n/8 {
+			x := 0
+			for i := 0; i < 300000; i++ {
+				x += i
+			}
+			_ = x
+		}
+	}))
+	total := int64(0)
+	for i := range perWorker {
+		total += perWorker[i].Load()
+	}
+	if total != n {
+		t.Fatalf("covered %d indices, want %d", total, n)
+	}
+	// Dynamic scheduling must spread work: no member may have processed
+	// everything (the member stuck on expensive chunks gets fewer).
+	for i := range perWorker {
+		if perWorker[i].Load() == n {
+			t.Fatal("one member processed the whole range; dynamic scheduling dead")
+		}
+	}
+}
+
+func TestForDynamicDefaultChunk(t *testing.T) {
+	s := newTest(t, Options{P: 4})
+	var count atomic.Int64
+	s.Run(ForDynamic(4, 1000, 0, func(_ *Ctx, lo, hi int) {
+		count.Add(int64(hi - lo))
+	}))
+	if count.Load() != 1000 {
+		t.Fatalf("covered %d", count.Load())
+	}
+}
+
+func TestTeamForCollective(t *testing.T) {
+	s := newTest(t, Options{P: 8})
+	const n = 999
+	hits := make([]atomic.Int32, n)
+	var after atomic.Int32
+	s.Run(Func(4, func(ctx *Ctx) {
+		ctx.TeamFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		// After TeamFor's barrier, the whole range must be covered.
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				after.Add(1)
+			}
+		}
+	}))
+	if after.Load() != 0 {
+		t.Fatalf("%d coverage violations observed after TeamFor", after.Load())
+	}
+}
+
+func TestTeamForSolo(t *testing.T) {
+	s := newTest(t, Options{P: 2})
+	var got atomic.Int64
+	s.Run(Solo(func(ctx *Ctx) {
+		ctx.TeamFor(100, func(lo, hi int) { got.Add(int64(hi - lo)) })
+	}))
+	if got.Load() != 100 {
+		t.Fatalf("solo TeamFor covered %d", got.Load())
+	}
+}
+
+func TestForStaticNestedSpawns(t *testing.T) {
+	// Loop bodies may spawn follow-up tasks.
+	s := newTest(t, Options{P: 8})
+	var leaves atomic.Int64
+	s.Run(ForStatic(4, 16, func(ctx *Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ctx.Spawn(Solo(func(*Ctx) { leaves.Add(1) }))
+		}
+	}))
+	s.Wait()
+	if leaves.Load() != 16 {
+		t.Fatalf("leaves = %d", leaves.Load())
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// P is the number of workers ("hardware threads"). Default: runtime.NumCPU().
+	P int
+	// Randomized enables Refinement 4: at level ℓ the steal/team partner is
+	// chosen uniformly from the 2^ℓ ids of the sibling sub-block instead of
+	// the single deterministic bit-flip partner. Default: deterministic.
+	Randomized bool
+	// PinOSThreads locks each worker goroutine to an OS thread, approximating
+	// the paper's Pthreads workers. Default: off.
+	PinOSThreads bool
+	// DisableTeamReuse disbands a team after every task instead of keeping it
+	// for subsequent tasks of the same size (ablation knob; the paper's
+	// default keeps teams together, §3).
+	DisableTeamReuse bool
+	// Seed seeds the per-worker random generators used by Randomized mode.
+	Seed uint64
+	// StealOne limits every steal to a single task instead of the paper's
+	// min(size/2, 2^ℓ) (ablation knob).
+	StealOne bool
+}
+
+// Scheduler is a work-stealing scheduler with deterministic team-building.
+// Create with New, feed it with Spawn or Run, and release its workers with
+// Shutdown.
+type Scheduler struct {
+	opts    Options
+	topo    *topo.Topology
+	workers []*worker
+
+	inflight atomic.Int64 // spawned but not yet completed tasks
+	gen      atomic.Uint64
+	done     atomic.Bool
+	wg       sync.WaitGroup
+	trace    tracer
+
+	injectMu sync.Mutex
+	inject   []*node
+}
+
+// New starts a scheduler with p workers. The workers idle (with capped
+// backoff) until tasks are submitted.
+func New(opts Options) *Scheduler {
+	s := build(opts)
+	s.start()
+	return s
+}
+
+// build constructs the scheduler without starting the worker goroutines.
+// Tests drive the protocol single-threaded on a built-but-unstarted
+// scheduler to pin down exact interleavings.
+func build(opts Options) *Scheduler {
+	if opts.P <= 0 {
+		opts.P = runtime.NumCPU()
+	}
+	if opts.P > 1<<15 {
+		panic(fmt.Sprintf("core: p = %d exceeds the 16-bit registration fields", opts.P))
+	}
+	s := &Scheduler{
+		opts: opts,
+		topo: topo.New(opts.P),
+	}
+	s.workers = make([]*worker, opts.P)
+	for i := range s.workers {
+		s.workers[i] = newWorker(s, i)
+	}
+	return s
+}
+
+func (s *Scheduler) start() {
+	s.wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		go w.loop()
+	}
+}
+
+// P returns the number of workers.
+func (s *Scheduler) P() int { return s.topo.P }
+
+// MaxTeam returns the largest thread requirement a task may declare: the
+// largest power of two ≤ P (Refinement 3 restricts teams to power-of-two
+// blocks that fit inside the worker id space).
+func (s *Scheduler) MaxTeam() int { return s.topo.MaxTeam }
+
+// Spawn submits a task from outside the scheduler. It is safe for concurrent
+// use. Inside a running task, use Ctx.Spawn instead (it is cheaper and
+// preserves depth-first order).
+func (s *Scheduler) Spawn(t Task) {
+	n := s.newNode(t)
+	s.inflight.Add(1)
+	s.injectMu.Lock()
+	s.inject = append(s.inject, n)
+	s.injectMu.Unlock()
+}
+
+// Wait blocks until all spawned tasks (and their descendants) have completed.
+func (s *Scheduler) Wait() {
+	var bo backoff.Backoff
+	for s.inflight.Load() > 0 {
+		bo.Wait()
+	}
+}
+
+// Run submits t and waits for quiescence.
+func (s *Scheduler) Run(t Task) {
+	s.Spawn(t)
+	s.Wait()
+}
+
+// Shutdown stops all workers. Outstanding tasks are abandoned; call Wait
+// first for a clean drain. Shutdown is idempotent and blocks until all
+// worker goroutines have exited.
+func (s *Scheduler) Shutdown() {
+	s.done.Store(true)
+	s.wg.Wait()
+}
+
+// Stats returns the aggregated counters of all workers.
+func (s *Scheduler) Stats() stats.Snapshot {
+	var total stats.Snapshot
+	for _, w := range s.workers {
+		total.Add(w.st.Snapshot())
+	}
+	return total
+}
+
+// WorkerStats returns a per-worker snapshot of the scheduler counters.
+func (s *Scheduler) WorkerStats() []stats.Snapshot {
+	out := make([]stats.Snapshot, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.st.Snapshot()
+	}
+	return out
+}
+
+// Pending returns the current number of in-flight tasks (racy; for tests
+// and diagnostics).
+func (s *Scheduler) Pending() int64 { return s.inflight.Load() }
+
+func (s *Scheduler) newNode(t Task) *node {
+	r := t.Threads()
+	if r < 1 {
+		panic(fmt.Sprintf("core: task thread requirement %d < 1", r))
+	}
+	if r > s.topo.MaxTeam {
+		panic(fmt.Sprintf("core: task requires %d threads; scheduler supports at most %d (p = %d)",
+			r, s.topo.MaxTeam, s.topo.P))
+	}
+	return &node{task: t, r: r}
+}
+
+// taskDone marks one task as completed.
+func (s *Scheduler) taskDone() { s.inflight.Add(-1) }
+
+// nextGen returns a scheduler-unique generation number for team executions.
+func (s *Scheduler) nextGen() uint64 { return s.gen.Add(1) }
+
+// takeInjected moves one externally submitted task into w's queues.
+func (s *Scheduler) takeInjected(w *worker) bool {
+	s.injectMu.Lock()
+	if len(s.inject) == 0 {
+		s.injectMu.Unlock()
+		return false
+	}
+	n := s.inject[0]
+	s.inject = s.inject[1:]
+	s.injectMu.Unlock()
+	w.pushNode(n)
+	return true
+}

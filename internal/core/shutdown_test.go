@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShutdownWithPendingWork verifies Shutdown returns even while tasks are
+// queued or running (outstanding work is abandoned, per the documented
+// contract).
+func TestShutdownWithPendingWork(t *testing.T) {
+	s := New(Options{P: 4})
+	var started atomic.Int64
+	for i := 0; i < 200; i++ {
+		s.Spawn(Solo(func(*Ctx) {
+			started.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		}))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("Shutdown hung with pending work:\n%s", s.DumpState())
+	}
+}
+
+// TestShutdownDuringTeamGather verifies Shutdown interrupts a coordinator
+// stuck gathering a team that can never complete because the other workers
+// already observed the done flag.
+func TestShutdownDuringTeamGather(t *testing.T) {
+	s := New(Options{P: 4})
+	// Keep three workers busy so a 4-team cannot form quickly, then shut
+	// down while the gathering is (likely) in progress.
+	block := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		s.Spawn(Solo(func(*Ctx) { <-block }))
+	}
+	s.Spawn(Func(4, func(*Ctx) {}))
+	time.Sleep(20 * time.Millisecond) // let the gather start
+	done := make(chan struct{})
+	go func() {
+		close(block)
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("Shutdown hung during gather:\n%s", s.DumpState())
+	}
+}

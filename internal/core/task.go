@@ -1,0 +1,118 @@
+// Package core implements work-stealing with deterministic team-building,
+// the scheduling algorithm of Wimmer & Träff, "Work-stealing for mixed-mode
+// parallelism by deterministic team-building" (SPAA 2011).
+//
+// The scheduler runs p workers. Tasks declare a thread requirement r ≥ 1 at
+// spawn time. Tasks with r = 1 are executed exactly as in classical
+// work-stealing (local deques, stealing by idle thieves). Tasks with r > 1
+// are executed by a team of r consecutively numbered workers. Idle workers
+// attempt to join teams by registering at a coordinating worker with a
+// single CAS on the coordinator's packed registration word; partners for
+// stealing and team-building are chosen deterministically by flipping one
+// bit of the worker id per level, so a team for a task of size r always
+// consists of the workers k·r … (k+1)·r−1 of the block containing the
+// coordinator.
+//
+// The implementation realizes the paper's Algorithms 1–9 plus all four
+// refinements: per-size local queues (Refinement 1, always on), arbitrary
+// thread requirements via rounded-up teams (Refinement 2), an arbitrary
+// number of workers (Refinement 3), and optional randomized partner
+// selection (Refinement 4). See DESIGN.md for the documented deviations.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Task is a unit of work with a fixed thread requirement.
+//
+// Run is invoked once on every participating worker: for r = 1 tasks it runs
+// on a single worker; for r > 1 tasks it runs simultaneously on all r team
+// members, each with a distinct ctx.LocalID() in 0 … r−1. The team members
+// may coordinate through ctx.Barrier() and through shared state of the Task
+// value itself.
+type Task interface {
+	// Threads returns the number of workers r ≥ 1 this task requires.
+	// It must be constant for a given task value.
+	Threads() int
+	// Run executes the task. For team tasks it is called concurrently by
+	// all participating workers.
+	Run(ctx *Ctx)
+}
+
+// node is the queue entry wrapping a task; r caches Threads().
+type node struct {
+	task Task
+	r    int
+}
+
+// funcTask adapts a function to the Task interface.
+type funcTask struct {
+	r  int
+	fn func(*Ctx)
+}
+
+func (t *funcTask) Threads() int { return t.r }
+func (t *funcTask) Run(ctx *Ctx) { t.fn(ctx) }
+
+// Func returns a Task requiring r threads that executes fn.
+func Func(r int, fn func(*Ctx)) Task {
+	if r < 1 {
+		panic(fmt.Sprintf("core: task thread requirement %d < 1", r))
+	}
+	return &funcTask{r: r, fn: fn}
+}
+
+// Solo returns a classical single-threaded task.
+func Solo(fn func(*Ctx)) Task { return Func(1, fn) }
+
+// Ctx is the per-execution context handed to Task.Run. It identifies the
+// executing worker, the task's team, and allows spawning further tasks.
+type Ctx struct {
+	w       *worker
+	exec    *teamExec // nil for r = 1 executions
+	localID int
+}
+
+// Spawn pushes t onto the executing worker's local queue for the level
+// matching t.Threads() (Refinement 1). It panics if the requirement exceeds
+// Scheduler.MaxTeam().
+func (c *Ctx) Spawn(t Task) { c.w.spawn(t) }
+
+// LocalID returns this worker's id within the task's team, 0 … TeamSize()−1.
+// It is 0 for single-threaded tasks.
+func (c *Ctx) LocalID() int { return c.localID }
+
+// TeamSize returns the number of workers executing this task together
+// (the task's thread requirement r). It is 1 for single-threaded tasks.
+func (c *Ctx) TeamSize() int {
+	if c.exec == nil {
+		return 1
+	}
+	return c.exec.width
+}
+
+// WorkerID returns the global id of the executing worker (0 … p−1).
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// Scheduler returns the scheduler executing this task.
+func (c *Ctx) Scheduler() *Scheduler { return c.w.sched }
+
+// Barrier blocks until all TeamSize() workers of this task have reached the
+// barrier. It is a no-op for single-threaded tasks. The barrier is reusable
+// for any number of phases.
+func (c *Ctx) Barrier() {
+	if c.exec != nil {
+		c.exec.barrier.Wait()
+	}
+}
+
+// TeamLeft returns the global worker id of the team member with LocalID 0.
+func (c *Ctx) TeamLeft() int {
+	if c.exec == nil {
+		return c.w.id
+	}
+	return topo.TeamLeft(c.exec.coordID, c.exec.teamSize)
+}

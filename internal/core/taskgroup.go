@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+)
+
+// TaskGroup provides a fork/join-style sync for single-threaded subtasks
+// (the `sync` statement of the paper's Algorithm 10). Waiting does not block
+// the worker: it helps by executing queued single-threaded tasks until the
+// group drains.
+//
+// Restriction: only tasks with Threads() == 1 may be spawned through a
+// TaskGroup. A worker waiting inside a task cannot join or coordinate teams
+// (doing so from within a running task would deadlock the member protocol),
+// so multi-threaded children must be fire-and-forget — exactly how the
+// paper's mixed-mode Quicksort uses them.
+type TaskGroup struct {
+	pending atomic.Int64
+}
+
+// Spawn submits t as part of the group. t.Threads() must be 1.
+func (g *TaskGroup) Spawn(ctx *Ctx, t Task) {
+	if t.Threads() != 1 {
+		panic("core: TaskGroup supports only single-threaded tasks (see doc)")
+	}
+	g.pending.Add(1)
+	ctx.Spawn(Solo(func(c *Ctx) {
+		defer g.pending.Add(-1)
+		t.Run(c)
+	}))
+}
+
+// Go submits fn as a single-threaded task of the group.
+func (g *TaskGroup) Go(ctx *Ctx, fn func(*Ctx)) {
+	g.Spawn(ctx, Solo(fn))
+}
+
+// Wait returns once every task spawned through the group (including tasks
+// spawned by other workers into the same group) has completed. While
+// waiting, the calling worker executes single-threaded tasks from its own
+// queue and steals single-threaded tasks from others.
+func (g *TaskGroup) Wait(ctx *Ctx) {
+	w := ctx.w
+	var bo backoff.Backoff
+	for g.pending.Load() > 0 {
+		if n := w.queues[0].PopBottom(); n != nil {
+			w.runSolo(n)
+			bo.Reset()
+			continue
+		}
+		if w.stealSoloOnly() {
+			bo.Reset()
+			continue
+		}
+		bo.Wait()
+	}
+}
+
+// stealSoloOnly steals only single-threaded tasks and never registers for
+// teams: safe to call from inside a running task (used by TaskGroup.Wait).
+func (w *worker) stealSoloOnly() bool {
+	s := w.sched
+	for l := 0; l < s.topo.Levels; l++ {
+		x := w.partnerAt(l)
+		if x == nil {
+			continue
+		}
+		sz := x.queues[0].Size()
+		if sz == 0 {
+			continue
+		}
+		last, nst := stealSolo(w, x, w.stealCount(sz, l))
+		if nst == 0 {
+			continue
+		}
+		w.st.Steals.Add(1)
+		w.st.TasksStolen.Add(int64(nst))
+		w.runSolo(last)
+		return true
+	}
+	return false
+}
+
+func stealSolo(w, x *worker, cnt int) (*node, int) {
+	last, n := (*node)(nil), 0
+	for n < cnt {
+		v := x.queues[0].PopTop()
+		if v == nil {
+			break
+		}
+		if last != nil {
+			w.queues[0].PushBottom(last)
+		}
+		last = v
+		n++
+	}
+	return last, n
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskGroupHelpsByStealing(t *testing.T) {
+	// The waiter's own queue is empty (children spawned from another
+	// worker's task), forcing Wait into its solo-steal helping path.
+	s := newTest(t, Options{P: 4})
+	var children atomic.Int64
+	s.Run(Solo(func(ctx *Ctx) {
+		var g TaskGroup
+		for i := 0; i < 32; i++ {
+			g.Go(ctx, func(c *Ctx) {
+				for j := 0; j < 8; j++ {
+					g.Go(c, func(*Ctx) { children.Add(1) })
+				}
+			})
+		}
+		g.Wait(ctx)
+		if got := children.Load(); got != 32*8 {
+			t.Errorf("children = %d, want %d", got, 32*8)
+		}
+	}))
+}
+
+func TestTaskGroupRejectsTeamTasks(t *testing.T) {
+	s := newTest(t, Options{P: 4})
+	var panicked atomic.Bool
+	s.Run(Solo(func(ctx *Ctx) {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		var g TaskGroup
+		g.Spawn(ctx, Func(2, func(*Ctx) {}))
+	}))
+	if !panicked.Load() {
+		t.Fatal("TaskGroup must reject multi-threaded tasks")
+	}
+}
+
+func TestTaskGroupEmptyWait(t *testing.T) {
+	s := newTest(t, Options{P: 2})
+	s.Run(Solo(func(ctx *Ctx) {
+		var g TaskGroup
+		g.Wait(ctx) // empty group: returns immediately
+	}))
+}
+
+func TestTaskGroupSequentialBatches(t *testing.T) {
+	s := newTest(t, Options{P: 4})
+	var order atomic.Int64
+	var bad atomic.Int64
+	s.Run(Solo(func(ctx *Ctx) {
+		var g TaskGroup
+		for i := 0; i < 10; i++ {
+			g.Go(ctx, func(*Ctx) { order.Add(1) })
+		}
+		g.Wait(ctx)
+		if order.Load() != 10 {
+			bad.Add(1)
+		}
+		// Reuse the same group for a second batch.
+		for i := 0; i < 10; i++ {
+			g.Go(ctx, func(*Ctx) { order.Add(1) })
+		}
+		g.Wait(ctx)
+		if order.Load() != 20 {
+			bad.Add(1)
+		}
+	}))
+	if bad.Load() != 0 {
+		t.Fatal("batch boundaries violated")
+	}
+}
+
+func TestTaskGroupDeeplyNested(t *testing.T) {
+	s := newTest(t, Options{P: 8})
+	var leaves atomic.Int64
+	var rec func(c *Ctx, depth int)
+	rec = func(c *Ctx, depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		var g TaskGroup
+		for i := 0; i < 3; i++ {
+			g.Go(c, func(cc *Ctx) { rec(cc, depth-1) })
+		}
+		g.Wait(c)
+	}
+	s.Run(Solo(func(ctx *Ctx) { rec(ctx, 5) }))
+	if got := leaves.Load(); got != 243 {
+		t.Fatalf("leaves = %d, want 243", got)
+	}
+}

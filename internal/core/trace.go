@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Event tracing for protocol debugging: a fixed-size global ring buffer of
+// registration-protocol transitions, enabled with Options.Trace. The
+// overhead when disabled is a single atomic load per event site.
+
+type traceKind uint8
+
+const (
+	evRegister traceKind = iota
+	evDeregister
+	evRevoked
+	evLeaveTeam
+	evTeamFixed
+	evPublish
+	evPickup
+	evShrink
+	evDisband
+	evPreempt
+	evConflictYield
+	evGrowAdvertise
+	evExecDone
+)
+
+var traceKindNames = [...]string{
+	"register", "deregister", "revoked", "leave-team", "team-fixed",
+	"publish", "pickup", "shrink", "disband", "preempt", "conflict-yield",
+	"grow-advertise", "exec-done",
+}
+
+type traceEvent struct {
+	seq   uint64
+	kind  traceKind
+	who   int
+	coord int
+	a, b  int // kind-specific payload
+}
+
+const traceCap = 1 << 14
+
+type tracer struct {
+	on  atomic.Bool
+	seq atomic.Uint64
+	buf [traceCap]atomic.Pointer[traceEvent]
+}
+
+func (t *tracer) emit(kind traceKind, who, coord, a, b int) {
+	if !t.on.Load() {
+		return
+	}
+	seq := t.seq.Add(1)
+	t.buf[seq%traceCap].Store(&traceEvent{seq: seq, kind: kind, who: who, coord: coord, a: a, b: b})
+}
+
+// Dump renders the buffered events in sequence order.
+func (t *tracer) dump() string {
+	var evs []*traceEvent
+	for i := range t.buf {
+		if e := t.buf[i].Load(); e != nil {
+			evs = append(evs, e)
+		}
+	}
+	// insertion sort by seq (small buffer)
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].seq > evs[j].seq; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+	var sb strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&sb, "%6d w%-3d %-14s coord=%-3d a=%d b=%d\n",
+			e.seq, e.who, traceKindNames[e.kind], e.coord, e.a, e.b)
+	}
+	return sb.String()
+}
+
+// TraceOn enables protocol event tracing (testing/diagnostics only).
+func (s *Scheduler) TraceOn() { s.trace.on.Store(true) }
+
+// TraceDump returns the buffered protocol events.
+func (s *Scheduler) TraceDump() string { return s.trace.dump() }
+
+func (w *worker) ev(kind traceKind, coord, a, b int) {
+	w.sched.trace.emit(kind, w.id, coord, a, b)
+}

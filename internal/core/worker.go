@@ -1,0 +1,235 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/backoff"
+	"repro/internal/deque"
+	"repro/internal/reg"
+	"repro/internal/stats"
+	"repro/internal/teamsync"
+	"repro/internal/topo"
+)
+
+// teamExec is the published description of one team task execution. The
+// coordinator stores it in its cur pointer; team members poll cur, pick the
+// execution up exactly once (identified by gen) and participate if their
+// team-local id is below the task's actual width (Refinement 2 surplus
+// members pick up but do not run).
+type teamExec struct {
+	task     Task
+	teamSize int // power-of-two team size
+	width    int // actual thread requirement r ≤ teamSize
+	coordID  int
+	gen      uint64            // scheduler-unique generation
+	started  atomic.Int32      // countdown: teamSize−1 member pickups
+	done     atomic.Int32      // countdown: width participants finishing Run
+	barrier  *teamsync.Barrier // width participants
+}
+
+// worker is one of the p scheduler workers ("hardware threads").
+type worker struct {
+	id    int
+	sched *Scheduler
+
+	// queues[j] holds tasks with thread requirement in (2^{j-1}, 2^j]
+	// (Refinement 1: one queue per size class).
+	queues []*deque.Deque[node]
+
+	regw  reg.Word                 // the packed registration structure R (§3)
+	coord atomic.Pointer[worker]   // c: current coordinator (self when free)
+	cur   atomic.Pointer[teamExec] // published team execution
+
+	st stats.Worker
+	bo backoff.Backoff
+
+	// Owner-only member-side state.
+	regEpoch uint16 // epoch N observed at registration
+	teamed   bool   // member of a fixed team
+	lastGen  uint64 // generation of the last picked-up team execution
+
+	rngState uint64
+}
+
+func newWorker(s *Scheduler, id int) *worker {
+	w := &worker{
+		id:       id,
+		sched:    s,
+		rngState: s.opts.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
+	}
+	w.queues = make([]*deque.Deque[node], s.topo.QueueLevels)
+	for j := range w.queues {
+		w.queues[j] = deque.New[node]()
+	}
+	w.regw.Store(reg.Idle(0))
+	w.coord.Store(w)
+	return w
+}
+
+// rand is a SplitMix64 step for randomized partner selection.
+func (w *worker) rand() uint64 {
+	w.rngState += 0x9e3779b97f4a7c15
+	z := w.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (w *worker) coordp() *worker { return w.coord.Load() }
+
+func (w *worker) casFail() { w.st.CASFailures.Add(1) }
+
+// partnerAt returns the worker's partner at level l, honoring the Randomized
+// option (Refinement 4) and missing partners for non-power-of-two p
+// (Refinement 3). Returns nil if no partner exists at this level.
+func (w *worker) partnerAt(l int) *worker {
+	s := w.sched
+	if s.opts.Randomized {
+		if q := s.topo.RandPartner(w.id, l, w.rand()); q >= 0 {
+			return s.workers[q]
+		}
+		// Randomly chosen partner is missing (p not a power of two): fall
+		// back to the deterministic partner so orphaned tasks stay reachable.
+	}
+	q := s.topo.Partner(w.id, l)
+	if q < 0 {
+		return nil
+	}
+	return s.workers[q]
+}
+
+// spawn pushes a new task onto the local queues (Ctx.Spawn).
+func (w *worker) spawn(t Task) {
+	n := w.sched.newNode(t)
+	w.sched.inflight.Add(1)
+	w.pushNode(n)
+}
+
+func (w *worker) pushNode(n *node) {
+	w.queues[topo.Level(n.r)].PushBottom(n)
+	w.st.Spawns.Add(1)
+}
+
+// loop is the worker main loop (Algorithm 1 + Algorithm 5 structure):
+// member polling takes precedence, then local coordination/execution, then
+// externally injected tasks, then stealing, then backoff.
+func (w *worker) loop() {
+	defer w.sched.wg.Done()
+	if w.sched.opts.PinOSThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	s := w.sched
+	for !s.done.Load() {
+		if w.coordp() != w {
+			w.memberStep()
+			continue
+		}
+		w.coordinate()
+		if w.coordp() != w {
+			continue
+		}
+		if s.takeInjected(w) {
+			w.bo.Reset()
+			continue
+		}
+		w.st.StealAttempts.Add(1)
+		if w.stealTasks() {
+			w.bo.Reset()
+			continue
+		}
+		w.st.FailedAttempts.Add(1)
+		w.idleWait()
+	}
+}
+
+// idleWait backs off after an unsuccessful steal round.
+func (w *worker) idleWait() {
+	w.st.Backoffs.Add(1)
+	w.bo.Wait()
+}
+
+// runSolo executes a single-threaded task (the classical work-stealing fast
+// path; no registration traffic, matching the paper's "no extra overhead"
+// claim for r = 1).
+func (w *worker) runSolo(n *node) {
+	ctx := Ctx{w: w, localID: 0}
+	w.st.TasksRun.Add(1)
+	n.task.Run(&ctx)
+	w.sched.taskDone()
+	w.bo.Reset()
+}
+
+// runTeamPart executes this worker's share of a team task.
+func (w *worker) runTeamPart(exec *teamExec, lid int) {
+	ctx := Ctx{w: w, exec: exec, localID: lid}
+	w.st.TasksRun.Add(1)
+	w.st.TeamTasksRun.Add(1)
+	defer exec.done.Add(-1)
+	exec.task.Run(&ctx)
+}
+
+// memberStep is one polling iteration of a worker whose coordinator is
+// another worker: validate the registration, pick up a published team
+// execution, or help build the team (Algorithm 5 lines 7–14).
+func (w *worker) memberStep() {
+	c := w.coordp()
+	rc := c.regw.Load()
+	// Fixed-team membership is determined by block position: while c's team
+	// is fixed (t > 1), the team consists of exactly the t workers of the
+	// block around c, so a registered worker inside that block is a member
+	// even if it has not observed the team-fix yet. Epoch (N) checks apply
+	// only to registrants outside the team: coordinator transitions that
+	// bump the epoch (preempt, shrink, disband) always keep a = t, i.e. they
+	// revoke everyone except the surviving block.
+	inTeam := rc.Team > 1 && topo.Overlap(c.id, w.id, int(rc.Team))
+	switch {
+	case inTeam:
+		w.teamed = true
+		w.regEpoch = rc.Epoch // adopt the epoch across shrinks/preempts
+	case w.teamed:
+		// Was teamed, now outside the (shrunk or disbanded) team.
+		w.ev(evLeaveTeam, c.id, int(rc.Team), int(rc.Epoch))
+		w.leaveCoordinator()
+		return
+	case rc.Epoch != w.regEpoch:
+		// Non-team registration revoked (coordinator reset or yielded).
+		w.ev(evRevoked, c.id, int(rc.Epoch), int(w.regEpoch))
+		w.st.Revocations.Add(1)
+		w.leaveCoordinator()
+		return
+	}
+	if exec := c.cur.Load(); exec != nil && exec.gen != w.lastGen &&
+		topo.Overlap(exec.coordID, w.id, exec.teamSize) {
+		w.lastGen = exec.gen
+		w.teamed = true
+		lid := topo.LocalID(w.id, exec.coordID, exec.teamSize)
+		w.ev(evPickup, exec.coordID, lid, int(exec.gen))
+		exec.started.Add(-1)
+		if lid < exec.width {
+			w.runTeamPart(exec, lid)
+		}
+		w.bo.Reset()
+		return
+	}
+	if !w.teamed {
+		// Help gather the remaining members / resolve coordination conflicts.
+		w.pollPartners(c, int(rc.Req))
+		if w.coordp() == w {
+			return
+		}
+	}
+	w.st.Backoffs.Add(1)
+	w.bo.Wait()
+}
+
+// leaveCoordinator resets the worker to self-coordination. No deregistration
+// CAS is needed: it is only called after the coordinator has already revoked
+// this worker's registration (epoch bump or team shrink reset the acquired
+// count).
+func (w *worker) leaveCoordinator() {
+	w.teamed = false
+	w.coord.Store(w)
+	w.bo.Reset()
+}

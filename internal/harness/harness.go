@@ -1,0 +1,251 @@
+// Package harness regenerates the paper's evaluation tables (Tables 1–10):
+// the parallel Quicksort comparison across four input distributions, several
+// input sizes, and seven sorting configurations, reporting average and best
+// running times over a number of repetitions plus speedups relative to the
+// best sequential implementation.
+//
+// The paper's four machines map to worker counts (8, 16, 32, 32, 64); see
+// DESIGN.md §2 for the hardware substitution rationale.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cilk"
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/qsort"
+)
+
+// Algorithm identifies one column group of the paper's tables.
+type Algorithm int
+
+const (
+	SeqSTL     Algorithm = iota // best sequential sort (our introsort)
+	SeqQS                       // handwritten sequential quicksort
+	Fork                        // Algorithm 10 on the team-building scheduler
+	Randfork                    // Algorithm 10 on the classic random work-stealer
+	Cilk                        // Algorithm 10 on the Cilk-style scheduler
+	CilkSample                  // sample-pivot variant on the Cilk-style scheduler
+	MMPar                       // Algorithm 11 (mixed-mode) on the team-building scheduler
+	numAlgorithms
+)
+
+// String returns the column label used in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case SeqSTL:
+		return "Seq/STL"
+	case SeqQS:
+		return "SeqQS"
+	case Fork:
+		return "Fork"
+	case Randfork:
+		return "Randfork"
+	case Cilk:
+		return "Cilk"
+	case CilkSample:
+		return "Cilk sample"
+	case MMPar:
+		return "MMPar"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes one table's experiment grid.
+type Config struct {
+	Name     string      // table caption
+	P        int         // workers ("hardware threads")
+	Reps     int         // repetitions per cell (the paper uses 10)
+	Sizes    []int       // input sizes (rows within each distribution)
+	Kinds    []dist.Kind // distributions (row groups)
+	WithCilk bool        // include the Cilk columns (Tables 1, 2, 5, 6)
+	Seed     uint64
+
+	// Sorting tunables (§5 defaults when zero).
+	Cutoff    int
+	BlockSize int
+	MinBlocks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps < 1 {
+		c.Reps = 1
+	}
+	if c.P < 1 {
+		c.P = 1
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = QuickSizes
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = dist.Kinds
+	}
+	if c.Cutoff < 2 {
+		c.Cutoff = qsort.DefaultCutoff
+	}
+	if c.BlockSize < 1 {
+		c.BlockSize = qsort.DefaultBlockSize
+	}
+	if c.MinBlocks < 1 {
+		c.MinBlocks = qsort.DefaultMinBlocksPerThread
+	}
+	return c
+}
+
+// PaperSizes are the input sizes of the published tables.
+var PaperSizes = []int{10_000_000, 100_000_000, 1_000_000_000,
+	1<<23 - 1, 1<<25 - 1, 1<<27 - 1}
+
+// FullSizes are the paper sizes that fit a ~20 GB machine in reasonable time.
+var FullSizes = []int{10_000_000, 100_000_000, 1<<23 - 1, 1<<25 - 1, 1<<27 - 1}
+
+// QuickSizes is a CI-friendly grid that still reaches team sizes ≥ 8 with
+// the paper's default getBestNp parameters.
+var QuickSizes = []int{1_000_000, 10_000_000, 1<<23 - 1}
+
+// Cell is one measurement aggregate.
+type Cell struct {
+	Avg  float64 // seconds, mean over repetitions
+	Best float64 // seconds, minimum over repetitions
+}
+
+// Row is one (distribution, size) line of a table.
+type Row struct {
+	Kind  dist.Kind
+	Size  int
+	Cells [numAlgorithms]Cell
+	Ran   [numAlgorithms]bool
+}
+
+// Result is a completed experiment grid.
+type Result struct {
+	Cfg  Config
+	Rows []Row
+}
+
+// Mode selects the aggregation of a rendered table: the paper publishes an
+// "average running times" and a "best (minimum) running time" table per
+// machine.
+type Mode int
+
+const (
+	Avg Mode = iota
+	Best
+)
+
+func (m Mode) String() string {
+	if m == Avg {
+		return "average"
+	}
+	return "best"
+}
+
+// Run executes the experiment grid. Progress lines are written to progress
+// (use io.Discard to silence). Every sorted output is verified.
+func Run(cfg Config, progress io.Writer) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Cfg: cfg}
+	algs := []Algorithm{SeqSTL, SeqQS, Fork, Randfork, MMPar}
+	if cfg.WithCilk {
+		algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, Cilk, CilkSample, MMPar}
+	}
+	var buf []int32
+	for _, kind := range cfg.Kinds {
+		for _, size := range cfg.Sizes {
+			input := dist.Generate(kind, size, cfg.Seed+uint64(size))
+			if cap(buf) < size {
+				buf = make([]int32, size)
+			}
+			row := Row{Kind: kind, Size: size}
+			for _, alg := range algs {
+				cell, err := measure(cfg, alg, input, buf[:size])
+				if err != nil {
+					return nil, fmt.Errorf("%v/%v/%d: %w", alg, kind, size, err)
+				}
+				row.Cells[alg] = cell
+				row.Ran[alg] = true
+				fmt.Fprintf(progress, "%-11s %-9s n=%-11d avg=%8.4fs best=%8.4fs\n",
+					alg, kind, size, cell.Avg, cell.Best)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// measure times one algorithm cfg.Reps times on copies of input.
+func measure(cfg Config, alg Algorithm, input, buf []int32) (Cell, error) {
+	var cell Cell
+	cell.Best = -1
+
+	runOnce := func(sortFn func([]int32)) error {
+		copy(buf, input)
+		start := time.Now()
+		sortFn(buf)
+		el := time.Since(start).Seconds()
+		cell.Avg += el
+		if cell.Best < 0 || el < cell.Best {
+			cell.Best = el
+		}
+		if !qsort.IsSorted(buf) {
+			return fmt.Errorf("output not sorted")
+		}
+		return nil
+	}
+
+	var err error
+	switch alg {
+	case SeqSTL:
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.Introsort(d) })
+		}
+	case SeqQS:
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.SequentialQuicksortCutoff(d, cfg.Cutoff) })
+		}
+	case Fork:
+		s := core.New(core.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.ForkJoinCore(s, d, cfg.Cutoff) })
+		}
+	case Randfork:
+		s := classic.New(classic.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.ForkJoinClassic(s, d, cfg.Cutoff) })
+		}
+	case Cilk:
+		s := cilk.New(cilk.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.ForkJoinCilk(s, d, cfg.Cutoff) })
+		}
+	case CilkSample:
+		s := cilk.New(cilk.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.SampleCilk(s, d, cfg.Cutoff) })
+		}
+	case MMPar:
+		s := core.New(core.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		opt := qsort.MMOptions{Cutoff: cfg.Cutoff, BlockSize: cfg.BlockSize,
+			MinBlocksPerThread: cfg.MinBlocks}
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { qsort.MixedMode(s, d, opt) })
+		}
+	default:
+		err = fmt.Errorf("unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return Cell{}, err
+	}
+	cell.Avg /= float64(cfg.Reps)
+	return cell, nil
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// tinyConfig keeps unit tests fast while exercising every code path
+// including team formation (small partition blocks).
+func tinyConfig(withCilk bool) Config {
+	return Config{
+		Name:      "test",
+		P:         4,
+		Reps:      2,
+		Sizes:     []int{20000},
+		Kinds:     []dist.Kind{dist.Random, dist.Staggered},
+		WithCilk:  withCilk,
+		Seed:      1,
+		Cutoff:    256,
+		BlockSize: 256,
+		MinBlocks: 2,
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	res, err := Run(tinyConfig(true), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for alg := Algorithm(0); alg < numAlgorithms; alg++ {
+			if !row.Ran[alg] {
+				t.Fatalf("algorithm %v did not run", alg)
+			}
+			c := row.Cells[alg]
+			if c.Avg <= 0 || c.Best <= 0 || c.Best > c.Avg+1e-12 {
+				t.Fatalf("%v: implausible cell %+v", alg, c)
+			}
+		}
+	}
+}
+
+func TestRunWithoutCilk(t *testing.T) {
+	res, err := Run(tinyConfig(false), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Ran[Cilk] || row.Ran[CilkSample] {
+			t.Fatal("cilk columns must be skipped")
+		}
+		if !row.Ran[MMPar] || !row.Ran[Fork] {
+			t.Fatal("core columns missing")
+		}
+	}
+}
+
+func TestSpeedupDefinition(t *testing.T) {
+	var r Row
+	r.Cells[SeqSTL] = Cell{Avg: 2.0, Best: 1.5}
+	r.Cells[MMPar] = Cell{Avg: 0.5, Best: 0.3}
+	if su := r.Speedup(MMPar, Avg); su != 4.0 {
+		t.Fatalf("avg speedup = %v, want 4", su)
+	}
+	if su := r.Speedup(MMPar, Best); su != 5.0 {
+		t.Fatalf("best speedup = %v, want 5", su)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res, err := Run(tinyConfig(true), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mode{Avg, Best} {
+		out := res.Table(m)
+		for _, frag := range []string{"Seq/STL", "SeqQS", "Fork", "Randfork",
+			"Cilk sample", "MMPar", "Random", "Staggered", "20000"} {
+			if !strings.Contains(out, frag) {
+				t.Fatalf("table (%v) missing %q:\n%s", m, frag, out)
+			}
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	res, err := Run(tinyConfig(false), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// header + 2 rows × 5 algorithms
+	if len(lines) != 1+2*5 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "distribution,size,algorithm") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestTableConfigs(t *testing.T) {
+	wantP := map[int]int{1: 8, 2: 8, 3: 16, 4: 16, 5: 32, 6: 32, 7: 32, 8: 32, 9: 64, 10: 64}
+	wantCilk := map[int]bool{1: true, 2: true, 5: true, 6: true}
+	for tbl := 1; tbl <= 10; tbl++ {
+		cfg, mode, err := TableConfig(tbl, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.P != wantP[tbl] {
+			t.Fatalf("table %d: p=%d, want %d", tbl, cfg.P, wantP[tbl])
+		}
+		if cfg.WithCilk != wantCilk[tbl] {
+			t.Fatalf("table %d: cilk=%v", tbl, cfg.WithCilk)
+		}
+		if wantMode := Mode(Best); tbl%2 == 1 {
+			wantMode = Avg
+			if mode != wantMode {
+				t.Fatalf("table %d: mode=%v", tbl, mode)
+			}
+		} else if mode != wantMode {
+			t.Fatalf("table %d: mode=%v", tbl, mode)
+		}
+	}
+	if _, _, err := TableConfig(11, true); err == nil {
+		t.Fatal("table 11 must be rejected")
+	}
+	if _, _, err := TableConfig(0, false); err == nil {
+		t.Fatal("table 0 must be rejected")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Avg.String() != "average" || Best.String() != "best" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := []string{"Seq/STL", "SeqQS", "Fork", "Randfork", "Cilk", "Cilk sample", "MMPar"}
+	for a := Algorithm(0); a < numAlgorithms; a++ {
+		if a.String() != want[a] {
+			t.Fatalf("Algorithm(%d).String() = %q, want %q", a, a.String(), want[a])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// value returns the rendered time of a cell under the given mode.
+func (c Cell) value(m Mode) float64 {
+	if m == Avg {
+		return c.Avg
+	}
+	return c.Best
+}
+
+// Speedup returns the paper's SU column: the row's Seq/STL time divided by
+// the algorithm's time, within the table's aggregation mode ("Speedup is
+// calculated relative to the (best) sequential STL implementation").
+func (r Row) Speedup(alg Algorithm, m Mode) float64 {
+	base := r.Cells[SeqSTL].value(m)
+	v := r.Cells[alg].value(m)
+	if v <= 0 {
+		return 0
+	}
+	return base / v
+}
+
+// Table renders the result in the paper's layout: rows grouped by
+// distribution, columns Seq/STL, SeqQS, Fork(+SU), Randfork, [Cilk(+SU),
+// Cilk sample,] MMPar(+SU).
+func (r *Result) Table(m Mode) string {
+	var b strings.Builder
+	withCilk := r.Cfg.WithCilk
+	fmt.Fprintf(&b, "%s — %s running times over %d repetitions (p=%d), seconds\n",
+		r.Cfg.Name, m, r.Cfg.Reps, r.Cfg.P)
+	header := fmt.Sprintf("%-10s %11s %9s %9s %9s %5s %9s", "Type", "Size",
+		"Seq/STL", "SeqQS", "Fork", "SU", "Randfork")
+	if withCilk {
+		header += fmt.Sprintf(" %9s %5s %11s", "Cilk", "SU", "Cilk sample")
+	}
+	header += fmt.Sprintf(" %9s %5s", "MMPar", "SU")
+	b.WriteString(header)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(header)))
+	b.WriteByte('\n')
+	lastKind := ""
+	for _, row := range r.Rows {
+		kind := row.Kind.String()
+		if kind == lastKind {
+			kind = ""
+		} else {
+			lastKind = kind
+		}
+		fmt.Fprintf(&b, "%-10s %11d %9.3f %9.3f %9.3f %5.1f %9.3f",
+			kind, row.Size,
+			row.Cells[SeqSTL].value(m), row.Cells[SeqQS].value(m),
+			row.Cells[Fork].value(m), row.Speedup(Fork, m),
+			row.Cells[Randfork].value(m))
+		if withCilk {
+			fmt.Fprintf(&b, " %9.3f %5.1f %11.3f",
+				row.Cells[Cilk].value(m), row.Speedup(Cilk, m),
+				row.Cells[CilkSample].value(m))
+		}
+		fmt.Fprintf(&b, " %9.3f %5.1f\n",
+			row.Cells[MMPar].value(m), row.Speedup(MMPar, m))
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values with both aggregations,
+// for downstream plotting.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("distribution,size,algorithm,avg_seconds,best_seconds,avg_speedup,best_speedup\n")
+	for _, row := range r.Rows {
+		for alg := Algorithm(0); alg < numAlgorithms; alg++ {
+			if !row.Ran[alg] {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f,%.3f,%.3f\n",
+				row.Kind, row.Size, alg,
+				row.Cells[alg].Avg, row.Cells[alg].Best,
+				row.Speedup(alg, Avg), row.Speedup(alg, Best))
+		}
+	}
+	return b.String()
+}
+
+// TableConfig returns the configuration reproducing one of the paper's ten
+// tables. quick selects the reduced CI-friendly size grid; otherwise the
+// sizes that fit this machine (FullSizes) are used. The aggregation mode of
+// the published table is returned alongside.
+func TableConfig(table int, quick bool) (Config, Mode, error) {
+	sizes := FullSizes
+	reps := 10
+	if quick {
+		sizes = QuickSizes
+		reps = 3
+	}
+	base := Config{Reps: reps, Sizes: sizes, Seed: 42}
+	var mode Mode
+	switch table {
+	case 1, 2:
+		base.Name = fmt.Sprintf("Table %d: Quicksort, 8-core Intel Nehalem (p=8)", table)
+		base.P, base.WithCilk = 8, true
+	case 3, 4:
+		base.Name = fmt.Sprintf("Table %d: Quicksort, 16-core AMD Opteron (p=16)", table)
+		base.P, base.WithCilk = 16, false
+	case 5, 6:
+		base.Name = fmt.Sprintf("Table %d: Quicksort, 32-core Intel Nehalem EX (p=32)", table)
+		base.P, base.WithCilk = 32, true
+	case 7, 8:
+		base.Name = fmt.Sprintf("Table %d: Quicksort, Sun T2+ with 32 threads (p=32)", table)
+		base.P, base.WithCilk = 32, false
+	case 9, 10:
+		base.Name = fmt.Sprintf("Table %d: Quicksort, Sun T2+ with 64 threads (p=64)", table)
+		base.P, base.WithCilk = 64, false
+	default:
+		return Config{}, 0, fmt.Errorf("harness: no such table %d (paper has 1–10)", table)
+	}
+	if table%2 == 1 {
+		mode = Avg
+	} else {
+		mode = Best
+	}
+	return base, mode, nil
+}

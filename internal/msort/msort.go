@@ -1,0 +1,186 @@
+// Package msort implements a mixed-mode parallel merge sort on the
+// team-building scheduler — one of the "further mixed-mode parallel
+// applications" the paper's conclusion calls for, built on the same
+// primitives as the mixed-mode Quicksort: tasks whose thread requirement
+// shrinks with the subproblem and whose interiors are data-parallel.
+//
+// Structure: the array is recursively split into single-threaded sort tasks;
+// when both children of a node have finished, the last one spawns the node's
+// merge as a new task. Large merges are team tasks of np workers that
+// partition the output range by co-ranking (Merge Path binary search on the
+// two sorted inputs), so every member produces an independent output chunk.
+// The whole computation is continuation-style — no worker ever blocks — so
+// even full-width teams (np = p) can always form.
+package msort
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/qsort"
+)
+
+// Options are the tunables of the mixed-mode merge sort.
+type Options struct {
+	// Cutoff is the subsequence length below which the sequential sort takes
+	// over. Default 2048.
+	Cutoff int
+	// MinPerThread is the minimum number of output elements per team member
+	// of a parallel merge. Default 1 << 16.
+	MinPerThread int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cutoff < 2 {
+		o.Cutoff = 2048
+	}
+	if o.MinPerThread < 1 {
+		o.MinPerThread = 1 << 16
+	}
+	return o
+}
+
+// Sort sorts data with the mixed-mode parallel merge sort. It blocks until
+// the sort completes. The algorithm is not in-place: it allocates one
+// scratch buffer of len(data).
+func Sort[T qsort.Ordered](s *core.Scheduler, data []T, opt Options) {
+	opt = opt.withDefaults()
+	if len(data) < 2 {
+		return
+	}
+	tmp := make([]T, len(data))
+	s.Run(sortTask(data, tmp, false, nil, opt))
+	// s.Run waits for quiescence: the last merge has completed.
+}
+
+// bestNp mirrors the Quicksort's getBestNp for merge steps.
+func bestNp(n, perThread, maxTeam int) int {
+	np := 1
+	for np*2 <= maxTeam && n >= 2*np*perThread {
+		np *= 2
+	}
+	return np
+}
+
+// mergeNode is the join point of two child sorts. Whichever child finishes
+// last spawns the merge.
+type mergeNode[T qsort.Ordered] struct {
+	a, b, out []T
+	parent    *mergeNode[T]
+	pending   atomic.Int32
+	opt       Options
+}
+
+// childDone is called by each completed child (and by the node's own merge
+// task toward its parent).
+func (m *mergeNode[T]) childDone(ctx *core.Ctx) {
+	if m.pending.Add(-1) != 0 {
+		return
+	}
+	n := len(m.out)
+	np := bestNp(n, m.opt.MinPerThread, ctx.Scheduler().MaxTeam())
+	if np <= 1 {
+		m.spawnSequentialMerge(ctx)
+		return
+	}
+	parent := m.parent
+	a, b, out := m.a, m.b, m.out
+	ctx.Spawn(core.Func(np, func(c *core.Ctx) {
+		w, lid := c.TeamSize(), c.LocalID()
+		lo, hi := lid*n/w, (lid+1)*n/w
+		mergeRange(a, b, out, lo, hi)
+		c.Barrier() // the merge is complete once all chunks are written
+		if lid == 0 && parent != nil {
+			parent.childDone(c)
+		}
+	}))
+}
+
+func (m *mergeNode[T]) spawnSequentialMerge(ctx *core.Ctx) {
+	parent := m.parent
+	a, b, out := m.a, m.b, m.out
+	ctx.Spawn(core.Solo(func(c *core.Ctx) {
+		mergeRange(a, b, out, 0, len(out))
+		if parent != nil {
+			parent.childDone(c)
+		}
+	}))
+}
+
+// sortTask returns the recursive sort task for src. The sorted result lands
+// in src if !toTmp, else in tmp (the buffers alternate down the recursion so
+// every merge reads one buffer and writes the other).
+func sortTask[T qsort.Ordered](src, tmp []T, toTmp bool, parent *mergeNode[T], opt Options) core.Task {
+	return core.Solo(func(ctx *core.Ctx) {
+		n := len(src)
+		if n <= opt.Cutoff {
+			qsort.Introsort(src)
+			if toTmp {
+				copy(tmp, src)
+			}
+			if parent != nil {
+				parent.childDone(ctx)
+			}
+			return
+		}
+		h := n / 2
+		node := &mergeNode[T]{parent: parent, opt: opt}
+		node.pending.Store(2)
+		if toTmp {
+			node.a, node.b, node.out = src[:h], src[h:], tmp
+		} else {
+			node.a, node.b, node.out = tmp[:h], tmp[h:], src
+		}
+		// Children sort into the opposite buffer of this node's output.
+		left := sortTask(src[:h], tmp[:h], !toTmp, node, opt)
+		right := sortTask(src[h:], tmp[h:], !toTmp, node, opt)
+		ctx.Spawn(left)
+		right.Run(ctx) // run one child inline (standard work-first split)
+	})
+}
+
+// coRank returns (i, j) with i+j = k such that merging a[:i] with b[:j]
+// yields the first k elements of the full merge (Merge Path split point).
+func coRank[T qsort.Ordered](a, b []T, k int) (int, int) {
+	lo := k - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		i := (lo + hi) / 2
+		j := k - i
+		if i > 0 && j < len(b) && a[i-1] > b[j] {
+			hi = i // i too big
+		} else if j > 0 && i < len(a) && a[i] < b[j-1] {
+			lo = i + 1 // i too small
+		} else {
+			return i, j
+		}
+	}
+	return lo, k - lo
+}
+
+// mergeRange writes out[lo:hi) of the merge of sorted a and b.
+func mergeRange[T qsort.Ordered](a, b, out []T, lo, hi int) {
+	i, j := coRank(a, b, lo)
+	for k := lo; k < hi; k++ {
+		switch {
+		case i >= len(a):
+			out[k] = b[j]
+			j++
+		case j >= len(b):
+			out[k] = a[i]
+			i++
+		case b[j] < a[i]:
+			out[k] = b[j]
+			j++
+		default:
+			out[k] = a[i]
+			i++
+		}
+	}
+}

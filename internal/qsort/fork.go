@@ -1,0 +1,137 @@
+package qsort
+
+import (
+	"repro/internal/cilk"
+	"repro/internal/classic"
+	"repro/internal/core"
+)
+
+// This file implements the task-parallel fork-join Quicksort of the paper's
+// Algorithm 10 on each of the three schedulers: the team-building scheduler
+// (the tables' "Fork" column), the classic randomized work-stealer
+// ("Randfork") and the Cilk-style scheduler ("Cilk"). Each partitioning step
+// spawns the left subsequence as a new task and continues on the right
+// inline (equivalent to the paper's async/async/sync under depth-first
+// help-first scheduling, with one task allocation saved per step);
+// subsequences below the cutoff are sorted with the sequential STL-style
+// sort, exactly as in §5.
+
+// ForkJoinCore sorts data with the task-parallel quicksort on the
+// team-building scheduler; all tasks have thread requirement 1, so the
+// scheduler degenerates to deterministic work-stealing (§3.1). It blocks
+// until the sort completes.
+func ForkJoinCore[T Ordered](s *core.Scheduler, data []T, cutoff int) {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	if len(data) < 2 {
+		return
+	}
+	s.Run(core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) }))
+}
+
+func forkCore[T Ordered](ctx *core.Ctx, data []T, cutoff int) {
+	for len(data) > cutoff {
+		s := HoarePartition(data)
+		left := data[:s]
+		data = data[s:]
+		ctx.Spawn(core.Solo(func(c *core.Ctx) { forkCore(c, left, cutoff) }))
+	}
+	Introsort(data)
+}
+
+// ForkJoinClassic sorts data with the task-parallel quicksort on the classic
+// randomized work-stealer (the "Randfork" column). It blocks until done.
+func ForkJoinClassic[T Ordered](s *classic.Scheduler, data []T, cutoff int) {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	if len(data) < 2 {
+		return
+	}
+	s.Run(classic.Func(func(ctx *classic.Ctx) { forkClassic(ctx, data, cutoff) }))
+}
+
+func forkClassic[T Ordered](ctx *classic.Ctx, data []T, cutoff int) {
+	for len(data) > cutoff {
+		s := HoarePartition(data)
+		left := data[:s]
+		data = data[s:]
+		ctx.Spawn(classic.Func(func(c *classic.Ctx) { forkClassic(c, left, cutoff) }))
+	}
+	Introsort(data)
+}
+
+// ForkJoinCilk sorts data with the handwritten task-parallel quicksort on
+// the Cilk-style scheduler (the "Cilk" column: "a handwritten example
+// following the same pattern as the other implementations, including the
+// cutoff"). It blocks until done.
+func ForkJoinCilk[T Ordered](s *cilk.Scheduler, data []T, cutoff int) {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	if len(data) < 2 {
+		return
+	}
+	s.Run(cilk.Func(func(ctx *cilk.Ctx) { forkCilk(ctx, data, cutoff) }))
+}
+
+func forkCilk[T Ordered](ctx *cilk.Ctx, data []T, cutoff int) {
+	for len(data) > cutoff {
+		s := HoarePartition(data)
+		left := data[:s]
+		data = data[s:]
+		ctx.Spawn(cilk.Func(func(c *cilk.Ctx) { forkCilk(c, left, cutoff) }))
+	}
+	Introsort(data)
+}
+
+// SampleCilk is the "Cilk sample" column: the sample-pivot quicksort variant
+// shipped as the Cilk++ example program. It differs from the handwritten
+// version by choosing the pivot as the median of a larger sample (which
+// costs a little per step but guards against bad pivots) and by spawning
+// both subsequences. It blocks until done.
+func SampleCilk[T Ordered](s *cilk.Scheduler, data []T, cutoff int) {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	if len(data) < 2 {
+		return
+	}
+	s.Run(cilk.Func(func(ctx *cilk.Ctx) { sampleCilk(ctx, data, cutoff) }))
+}
+
+const sampleSize = 15
+
+func sampleCilk[T Ordered](ctx *cilk.Ctx, data []T, cutoff int) {
+	if len(data) <= cutoff {
+		Introsort(data)
+		return
+	}
+	s := samplePartition(data)
+	left, right := data[:s], data[s:]
+	ctx.Spawn(cilk.Func(func(c *cilk.Ctx) { sampleCilk(c, left, cutoff) }))
+	sampleCilk(ctx, right, cutoff)
+}
+
+// samplePartition partitions around the median of sampleSize evenly spaced
+// elements, falling back to HoarePartition when the sampled pivot is
+// degenerate (split at 0 or n).
+func samplePartition[T Ordered](data []T) int {
+	n := len(data)
+	if n < 4*sampleSize {
+		return HoarePartition(data)
+	}
+	var sample [sampleSize]T
+	step := n / sampleSize
+	for i := 0; i < sampleSize; i++ {
+		sample[i] = data[i*step]
+	}
+	InsertionSort(sample[:])
+	pv := sample[sampleSize/2]
+	s := PartitionByValue(data, pv)
+	if s == 0 || s == n {
+		return HoarePartition(data)
+	}
+	return s
+}

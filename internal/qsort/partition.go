@@ -1,0 +1,99 @@
+package qsort
+
+// HoarePartition partitions data around the median of its first, middle and
+// last elements using Hoare's two-pointer scheme and returns the split point
+// s with 0 < s < len(data): every element of data[:s] is ≤ every element of
+// data[s:]. The strict bounds guarantee progress for the recursive sorts
+// even on constant inputs. len(data) must be ≥ 2.
+func HoarePartition[T Ordered](data []T) int {
+	n := len(data)
+	if n == 2 {
+		// The med3 argument positions coincide for n = 2; handle directly
+		// (the strict-bounds guarantee needs three distinct sample indices).
+		if data[1] < data[0] {
+			data[0], data[1] = data[1], data[0]
+		}
+		return 1
+	}
+	pv := med3(data[0], data[n/2], data[n-1])
+	i, j := -1, n
+	for {
+		for {
+			i++
+			if data[i] >= pv {
+				break
+			}
+		}
+		for {
+			j--
+			if data[j] <= pv {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		data[i], data[j] = data[j], data[i]
+	}
+}
+
+// PartitionByValue partitions data around the explicit pivot value pv,
+// returning s such that data[:s] ≤ pv and data[s:] ≥ pv. Unlike
+// HoarePartition, s may be 0 or len(data) when pv is extremal; callers must
+// handle the degenerate split. This is the sequential kernel used by the
+// data-parallel partitioning step for the middle region.
+func PartitionByValue[T Ordered](data []T, pv T) int {
+	i, j := 0, len(data)-1
+	for {
+		for i <= j && data[i] <= pv {
+			i++
+		}
+		for i <= j && data[j] >= pv {
+			j--
+		}
+		if i >= j {
+			return i
+		}
+		data[i], data[j] = data[j], data[i]
+		i++
+		j--
+	}
+}
+
+// blockScan tracks the neutralization progress of one block: the half-open
+// element range [lo, hi) with [lo, pos) already verified/neutralized.
+type blockScan struct {
+	lo, hi, pos int
+}
+
+func (b *blockScan) exhausted() bool { return b.pos >= b.hi }
+
+// neutralize runs the Tsigas–Zhang neutralization loop on a left and a right
+// block: left elements ≤ pv stay, right elements ≥ pv stay, and a bad pair
+// (left > pv, right < pv) is swapped. It advances both scans until at least
+// one block is exhausted (neutralized): an exhausted left block contains only
+// elements ≤ pv, an exhausted right block only elements ≥ pv.
+func neutralize[T Ordered](data []T, pv T, l, r *blockScan) {
+	for {
+		for l.pos < l.hi && data[l.pos] <= pv {
+			l.pos++
+		}
+		for r.pos < r.hi && data[r.pos] >= pv {
+			r.pos++
+		}
+		if l.pos >= l.hi || r.pos >= r.hi {
+			return
+		}
+		data[l.pos], data[r.pos] = data[r.pos], data[l.pos]
+		l.pos++
+		r.pos++
+	}
+}
+
+// swapRanges exchanges data[a:a+k] and data[b:b+k]; the ranges must not
+// overlap.
+func swapRanges[T Ordered](data []T, a, b, k int) {
+	for i := 0; i < k; i++ {
+		data[a+i], data[b+i] = data[b+i], data[a+i]
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndAdd(t *testing.T) {
+	var w Worker
+	w.TasksRun.Add(3)
+	w.Steals.Add(2)
+	w.Registrations.Add(5)
+	s := w.Snapshot()
+	if s.TasksRun != 3 || s.Steals != 2 || s.Registrations != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var total Snapshot
+	total.Add(s)
+	total.Add(s)
+	if total.TasksRun != 6 || total.Steals != 4 || total.Registrations != 10 {
+		t.Fatalf("sum = %+v", total)
+	}
+}
+
+func TestSum(t *testing.T) {
+	ws := []*Worker{{}, {}, {}}
+	for i, w := range ws {
+		w.TasksRun.Add(int64(i + 1))
+		w.Backoffs.Add(10)
+	}
+	s := Sum(ws)
+	if s.TasksRun != 6 || s.Backoffs != 30 {
+		t.Fatalf("Sum = %+v", s)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var w Worker
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				w.TasksRun.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.TasksRun.Load(); got != 8000 {
+		t.Fatalf("TasksRun = %d", got)
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	var w Worker
+	w.TeamsFormed.Add(4)
+	w.CASFailures.Add(7)
+	s := w.Snapshot().String()
+	for _, frag := range []string{"teams=4", "cas_fail=7", "tasks=0"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String %q missing %q", s, frag)
+		}
+	}
+}

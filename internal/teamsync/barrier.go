@@ -1,0 +1,113 @@
+// Package teamsync provides synchronization primitives for threads executing
+// a data-parallel task as a team: a phase-counting spin barrier and simple
+// all-reduce helpers.
+//
+// A team in the Wimmer–Träff scheduler is a set of r consecutively numbered
+// workers that start a task together. Within the task they communicate
+// through shared state of the task object; the primitives here cover the
+// common patterns (barrier between phases of the data-parallel partitioning
+// step, reductions of per-thread results).
+package teamsync
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+)
+
+// Barrier is a reusable spin barrier for a fixed number of participants.
+// It uses a phase counter rather than a reversing sense flag so that any
+// number of consecutive phases can be executed without reinitialization.
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	phase atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n participants (n ≥ 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("teamsync: barrier size must be ≥ 1")
+	}
+	b := &Barrier{n: int32(n)}
+	b.count.Store(int32(n))
+	return b
+}
+
+// N returns the number of participants.
+func (b *Barrier) N() int { return int(b.n) }
+
+// Wait blocks until all n participants have called Wait for the current
+// phase. The last arriving participant releases the others and returns true
+// (it may perform serial work before the *next* barrier); everyone else
+// returns false.
+func (b *Barrier) Wait() bool {
+	p := b.phase.Load()
+	if b.count.Add(-1) == 0 {
+		b.count.Store(b.n)
+		b.phase.Add(1) // release
+		return true
+	}
+	var bo backoff.Backoff
+	for b.phase.Load() == p {
+		bo.Wait()
+	}
+	return false
+}
+
+// Counter is a simple atomic countdown used for fan-in ("all threads have
+// deposited their blocks") without the full release semantics of a barrier.
+type Counter struct {
+	c atomic.Int32
+}
+
+// NewCounter returns a countdown initialized to n.
+func NewCounter(n int) *Counter {
+	c := &Counter{}
+	c.c.Store(int32(n))
+	return c
+}
+
+// Done decrements the counter and reports whether it reached zero.
+func (c *Counter) Done() bool { return c.c.Add(-1) == 0 }
+
+// WaitZero spins (with backoff) until the counter reaches zero.
+func (c *Counter) WaitZero() {
+	var bo backoff.Backoff
+	for c.c.Load() > 0 {
+		bo.Wait()
+	}
+}
+
+// ReduceInt64 is a slot-per-thread int64 reduction: each participant stores
+// its contribution, then after a barrier any participant can Sum.
+type ReduceInt64 struct {
+	slots []int64 // padded to avoid false sharing
+}
+
+const pad = 8 // int64 words per cache line (64 B)
+
+// NewReduceInt64 returns a reduction with n participant slots.
+func NewReduceInt64(n int) *ReduceInt64 {
+	return &ReduceInt64{slots: make([]int64, n*pad)}
+}
+
+// Set stores the contribution of participant i.
+func (r *ReduceInt64) Set(i int, v int64) {
+	atomic.StoreInt64(&r.slots[i*pad], v)
+}
+
+// Get returns the contribution of participant i.
+func (r *ReduceInt64) Get(i int) int64 {
+	return atomic.LoadInt64(&r.slots[i*pad])
+}
+
+// Sum returns the sum over the first n slots. Callers must separate Set and
+// Sum by a barrier.
+func (r *ReduceInt64) Sum(n int) int64 {
+	var s int64
+	for i := 0; i < n; i++ {
+		s += r.Get(i)
+	}
+	return s
+}

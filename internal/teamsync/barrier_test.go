@@ -1,0 +1,147 @@
+package teamsync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierSinglePhase(t *testing.T) {
+	const n = 8
+	b := NewBarrier(n)
+	var before atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			before.Add(1)
+			b.Wait()
+			if got := before.Load(); got != n {
+				t.Errorf("after barrier: before=%d, want %d", got, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierManyPhases(t *testing.T) {
+	const n = 4
+	const phases = 200
+	b := NewBarrier(n)
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				counter.Add(1)
+				b.Wait()
+				// Counter must be an exact multiple of n at phase boundaries.
+				if c := counter.Load(); c < int64((ph+1)*n) {
+					t.Errorf("phase %d: counter=%d too small", ph, c)
+					return
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	if c := counter.Load(); c != phases*n {
+		t.Fatalf("counter = %d, want %d", c, phases*n)
+	}
+}
+
+func TestBarrierLastArriverFlag(t *testing.T) {
+	const n = 6
+	b := NewBarrier(n)
+	var lastCount atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Wait() {
+				lastCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := lastCount.Load(); got != 1 {
+		t.Fatalf("%d goroutines saw the last-arriver flag, want exactly 1", got)
+	}
+}
+
+func TestBarrierN1(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		if !b.Wait() {
+			t.Fatal("sole participant must always be the releaser")
+		}
+	}
+}
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(5)
+	var zero atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.Done() {
+				zero.Add(1)
+			}
+		}()
+	}
+	c.WaitZero()
+	wg.Wait()
+	if zero.Load() != 1 {
+		t.Fatalf("%d goroutines saw zero, want 1", zero.Load())
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	const n = 8
+	r := NewReduceInt64(n)
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Set(i, int64(i*i))
+			b.Wait()
+			want := int64(0)
+			for j := 0; j < n; j++ {
+				want += int64(j * j)
+			}
+			if got := r.Sum(n); got != want {
+				t.Errorf("Sum = %d, want %d", got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestReduceGetSet(t *testing.T) {
+	r := NewReduceInt64(4)
+	for i := 0; i < 4; i++ {
+		r.Set(i, int64(100+i))
+	}
+	for i := 0; i < 4; i++ {
+		if r.Get(i) != int64(100+i) {
+			t.Fatalf("Get(%d) = %d", i, r.Get(i))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package repro is the public API of this reproduction of Wimmer & Träff,
+// "Work-stealing for mixed-mode parallelism by deterministic team-building"
+// (SPAA 2011, arXiv:1012.5030).
+//
+// The heart of the library is the Scheduler: a work-stealing scheduler whose
+// tasks may declare a thread requirement r ≥ 1. Tasks with r = 1 behave like
+// classical work-stealing tasks; tasks with r > 1 are executed
+// simultaneously by a team of r consecutively numbered workers, built
+// deterministically by idle thieves (see the package documentation of
+// internal/core for the full protocol).
+//
+// Quickstart:
+//
+//	s := repro.NewScheduler(repro.Options{P: 8})
+//	defer s.Shutdown()
+//	s.Run(repro.Func(4, func(ctx *repro.Ctx) {
+//	    fmt.Printf("hello from team member %d/%d\n", ctx.LocalID(), ctx.TeamSize())
+//	    ctx.Barrier()
+//	}))
+//
+// The repository also ships the paper's complete evaluation: the mixed-mode
+// parallel Quicksort (SortMixedMode), its fork-join and sequential baselines,
+// the input distribution generators, and a harness regenerating the paper's
+// Tables 1–10 (cmd/tables).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/msort"
+	"repro/internal/qsort"
+	"repro/internal/stats"
+)
+
+// Scheduler is the work-stealing scheduler with deterministic team-building.
+type Scheduler = core.Scheduler
+
+// Options configures a Scheduler.
+type Options = core.Options
+
+// Task is a unit of work with a fixed thread requirement.
+type Task = core.Task
+
+// Ctx is the execution context passed to a running task.
+type Ctx = core.Ctx
+
+// TaskGroup provides fork/join-style synchronization for single-threaded
+// subtasks (the `sync` of the paper's Algorithm 10).
+type TaskGroup = core.TaskGroup
+
+// SchedStats is the aggregate counter snapshot of a scheduler.
+type SchedStats = stats.Snapshot
+
+// NewScheduler starts a scheduler with opts.P workers (default NumCPU).
+func NewScheduler(opts Options) *Scheduler { return core.New(opts) }
+
+// Func returns a task requiring r threads that executes fn; fn runs
+// simultaneously on all r team members.
+func Func(r int, fn func(*Ctx)) Task { return core.Func(r, fn) }
+
+// Solo returns a classical single-threaded task.
+func Solo(fn func(*Ctx)) Task { return core.Solo(fn) }
+
+// ForStatic returns a team task of np threads executing body over [0, n)
+// with one contiguous chunk per member (static schedule, implicit barrier).
+func ForStatic(np, n int, body func(ctx *Ctx, lo, hi int)) Task {
+	return core.ForStatic(np, n, body)
+}
+
+// ForDynamic returns a team task of np threads executing body over [0, n)
+// with members claiming chunks from a shared counter (dynamic schedule);
+// chunk ≤ 0 selects a default.
+func ForDynamic(np, n, chunk int, body func(ctx *Ctx, lo, hi int)) Task {
+	return core.ForDynamic(np, n, chunk, body)
+}
+
+// Ordered is the element constraint of the sorting functions.
+type Ordered = qsort.Ordered
+
+// MMOptions are the tunables of the mixed-mode parallel quicksort; the zero
+// value selects the paper's defaults (cutoff 512, block size 4096, 128
+// blocks per partitioning thread).
+type MMOptions = qsort.MMOptions
+
+// SortMixedMode sorts data with the paper's mixed-mode parallel Quicksort
+// (Algorithm 11): data-parallel block partitioning by worker teams, followed
+// by task-parallel recursion. It blocks until the sort completes.
+func SortMixedMode[T Ordered](s *Scheduler, data []T, opt MMOptions) {
+	qsort.MixedMode(s, data, opt)
+}
+
+// SortForkJoin sorts data with the classical task-parallel Quicksort
+// (Algorithm 10) on the same scheduler; all tasks are single-threaded.
+func SortForkJoin[T Ordered](s *Scheduler, data []T) {
+	qsort.ForkJoinCore(s, data, qsort.DefaultCutoff)
+}
+
+// SortSequential sorts data with the repository's introsort (the stand-in
+// for std::sort used as the paper's sequential baseline).
+func SortSequential[T Ordered](data []T) { qsort.Introsort(data) }
+
+// MSOptions are the tunables of the mixed-mode parallel merge sort.
+type MSOptions = msort.Options
+
+// SortMergeMixedMode sorts data with a mixed-mode parallel merge sort
+// (task-parallel recursion, team-parallel co-ranked merges) — a second
+// mixed-mode application beyond the paper's Quicksort. Allocates one scratch
+// buffer of len(data).
+func SortMergeMixedMode[T Ordered](s *Scheduler, data []T, opt MSOptions) {
+	msort.Sort(s, data, opt)
+}
+
+// Distribution identifies one of the paper's benchmark input distributions.
+type Distribution = dist.Kind
+
+// Benchmark input distributions (§5; Helman–Bader–JáJá definitions).
+const (
+	Random    = dist.Random
+	Gauss     = dist.Gauss
+	Buckets   = dist.Buckets
+	Staggered = dist.Staggered
+)
+
+// GenerateInput returns n reproducibly seeded values of the distribution.
+func GenerateInput(k Distribution, n int, seed uint64) []int32 {
+	return dist.Generate(k, n, seed)
+}
