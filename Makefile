@@ -1,0 +1,30 @@
+# Tier-1 gate (ROADMAP.md): build + test, plus vet and targeted race runs.
+.PHONY: all build test vet race check fuzz-smoke bench tables
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/core ./internal/dist ./internal/dist/distpar
+
+# Full verification gate: build, vet, test, race.
+check:
+	./scripts/check.sh
+
+# Bounded fuzz pass over the workload generators (FUZZTIME=10s default).
+fuzz-smoke:
+	./scripts/fuzz-smoke.sh
+
+bench:
+	go test -bench=. -benchtime=1x .
+
+tables:
+	go run ./cmd/tables -table 1

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	distinspect -n 1000000 -dist staggered -p 16
+//	distinspect -n 100000000 -dist all -workers 8   # team-parallel generation
 package main
 
 import (
@@ -14,16 +15,23 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/distpar"
 )
 
 func main() {
+	names := make([]string, len(dist.Kinds))
+	for i, k := range dist.Kinds {
+		names[i] = k.String()
+	}
 	var (
 		n       = flag.Int("n", 1_000_000, "sample size")
-		distStr = flag.String("dist", "random", "distribution: random|gauss|buckets|staggered|all")
+		distStr = flag.String("dist", "random", "distribution: "+strings.Join(names, "|")+"|all")
 		p       = flag.Int("p", dist.DefaultP, "block parameter of Buckets/Staggered")
 		seed    = flag.Uint64("seed", 42, "seed")
 		bins    = flag.Int("bins", 32, "histogram bins")
+		workers = flag.Int("workers", 1, "generate on a scheduler team of this many workers (output is bit-identical)")
 	)
 	flag.Parse()
 
@@ -36,9 +44,14 @@ func main() {
 		}
 		kinds = []dist.Kind{k}
 	}
+	generate := func(k dist.Kind) []int32 { return dist.GenerateP(k, *n, *seed, *p) }
+	if *workers > 1 {
+		s := core.New(core.Options{P: *workers, Seed: *seed})
+		defer s.Shutdown()
+		generate = func(k dist.Kind) []int32 { return distpar.GenerateP(s, k, *n, *seed, *p) }
+	}
 	for _, k := range kinds {
-		vs := dist.GenerateP(k, *n, *seed, *p)
-		inspect(k, vs, *bins)
+		inspect(k, generate(k), *bins)
 	}
 }
 
@@ -64,7 +77,7 @@ func inspect(k dist.Kind, vs []int32, bins int) {
 		varsum += d * d
 	}
 	sd := math.Sqrt(varsum / float64(len(vs)))
-	fmt.Printf("%s: n=%d min=%d max=%d mean=%.0f sd=%.0f\n", k, len(vs), min, max, mean, sd)
+	fmt.Printf("%s (%s): n=%d min=%d max=%d mean=%.0f sd=%.0f\n", k, k.Doc(), len(vs), min, max, mean, sd)
 	peak := 0
 	for _, h := range hist {
 		if h > peak {

@@ -13,20 +13,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cilk"
 	"repro/internal/classic"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/distpar"
 	"repro/internal/msort"
 	"repro/internal/qsort"
 )
 
 func main() {
+	names := make([]string, len(dist.Kinds))
+	for i, k := range dist.Kinds {
+		names[i] = k.String()
+	}
 	var (
 		n       = flag.Int("n", 10_000_000, "number of 4-byte integers to sort")
-		distStr = flag.String("dist", "random", "distribution: random|gauss|buckets|staggered")
+		distStr = flag.String("dist", "random", "distribution: "+strings.Join(names, "|"))
 		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|msort|all (all excludes msort)")
 		p       = flag.Int("p", 0, "workers (default NumCPU)")
 		seed    = flag.Uint64("seed", 42, "input seed")
@@ -43,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	input := dist.Generate(kind, *n, *seed)
+	input := generateInput(kind, *n, *seed, *p)
 	buf := make([]int32, *n)
 
 	algos := []string{*algo}
@@ -139,4 +145,11 @@ func main() {
 			fmt.Printf("  stats: %s\n", schedStats)
 		}
 	}
+}
+
+// generateInput fills large inputs with a worker team on a throwaway
+// scheduler (bit-identical to sequential generation, so timings are
+// comparable across paths), small ones sequentially.
+func generateInput(kind dist.Kind, n int, seed uint64, p int) []int32 {
+	return distpar.GenerateWithWorkers(p, kind, n, seed)
 }

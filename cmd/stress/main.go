@@ -58,7 +58,7 @@ func main() {
 			}
 			want.Add(int64(r))
 			depth := rng.Intn(3)
-			s.Spawn(makeTask(r, depth, maxTeam, &execs, &badLocal, &want, rng.Next()))
+			s.Spawn(makeTask(r, depth, maxTeam, &execs, &badLocal, &want, rng.Split()))
 		}
 		s.Wait()
 		if got := execs.Load(); got != want.Load() {
@@ -80,8 +80,10 @@ func main() {
 
 // makeTask builds a task requiring r threads; the team member with local id
 // 0 spawns child tasks down to the given depth. All members validate their
-// local id range and count executions.
-func makeTask(r, depth, maxTeam int, execs, badLocal, want *atomic.Int64, seed uint64) core.Task {
+// local id range and count executions. Each task owns a split of the
+// parent's RNG stream, so the whole spawn tree is reproducible from -seed
+// regardless of scheduling order.
+func makeTask(r, depth, maxTeam int, execs, badLocal, want *atomic.Int64, rng *dist.RNG) core.Task {
 	return core.Func(r, func(ctx *core.Ctx) {
 		execs.Add(1)
 		if ctx.LocalID() < 0 || ctx.LocalID() >= ctx.TeamSize() || ctx.TeamSize() != r {
@@ -89,11 +91,10 @@ func makeTask(r, depth, maxTeam int, execs, badLocal, want *atomic.Int64, seed u
 		}
 		ctx.Barrier()
 		if ctx.LocalID() == 0 && depth > 0 {
-			rng := dist.NewRNG(seed)
 			for i := 0; i < 2; i++ {
 				cr := 1 + rng.Intn(maxTeam)
 				want.Add(int64(cr))
-				ctx.Spawn(makeTask(cr, depth-1, maxTeam, execs, badLocal, want, rng.Next()))
+				ctx.Spawn(makeTask(cr, depth-1, maxTeam, execs, badLocal, want, rng.Split()))
 			}
 		}
 	})

@@ -8,6 +8,7 @@
 //	tables -all                # all ten tables
 //	tables -table 5 -full      # the machine-sized grid (up to 2^27−1)
 //	tables -table 1 -sizes 1000000,8388607 -reps 5
+//	tables -table 1 -dists sorted,randdup,worstcase
 //	tables -table 2 -csv out.csv
 //
 // Worker counts above the host's CPU count (Tables 5–10 on small hosts) are
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/harness"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		reps    = flag.Int("reps", 0, "override repetitions per cell (paper: 10)")
 		p       = flag.Int("p", 0, "override worker count")
 		sizes   = flag.String("sizes", "", "override input sizes, comma-separated")
+		dists   = flag.String("dists", "", "override distributions, comma-separated (any registered kind, e.g. sorted,randdup)")
 		seed    = flag.Uint64("seed", 42, "input generator seed")
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		quiet   = flag.Bool("q", false, "suppress per-cell progress output")
@@ -76,6 +79,17 @@ func main() {
 					os.Exit(2)
 				}
 				cfg.Sizes = append(cfg.Sizes, n)
+			}
+		}
+		if *dists != "" {
+			cfg.Kinds = nil
+			for _, s := range strings.Split(*dists, ",") {
+				k, err := dist.Parse(s)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				cfg.Kinds = append(cfg.Kinds, k)
 			}
 		}
 		if cfg.P > runtime.NumCPU() {

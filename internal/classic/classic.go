@@ -19,6 +19,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/deque"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // Task is a single-threaded unit of work.
@@ -87,6 +88,7 @@ func New(opts Options) *Scheduler {
 	if opts.P <= 0 {
 		opts.P = runtime.NumCPU()
 	}
+	topo.EnsureGOMAXPROCS(opts.P)
 	s := &Scheduler{opts: opts}
 	s.workers = make([]*worker, opts.P)
 	for i := range s.workers {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -68,6 +69,12 @@ func TestForDynamicCoversRange(t *testing.T) {
 }
 
 func TestForDynamicBalancesIrregularWork(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		// On a single CPU one member can legitimately drain the whole chunk
+		// counter before any teammate is scheduled; the balancing property
+		// under test requires members that actually run concurrently.
+		t.Skip("dynamic balancing needs ≥2 CPUs")
+	}
 	s := newTest(t, Options{P: 4})
 	const n = 4096
 	var perWorker [4]atomic.Int64

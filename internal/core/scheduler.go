@@ -52,9 +52,12 @@ type Scheduler struct {
 }
 
 // New starts a scheduler with p workers. The workers idle (with capped
-// backoff) until tasks are submitted.
+// backoff) until tasks are submitted. GOMAXPROCS is raised to at least p
+// (see topo.EnsureGOMAXPROCS): the paper's workers are preemptively
+// scheduled OS threads, and the team-building protocol relies on that.
 func New(opts Options) *Scheduler {
 	s := build(opts)
+	topo.EnsureGOMAXPROCS(s.topo.P)
 	s.start()
 	return s
 }

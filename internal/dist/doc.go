@@ -1,0 +1,42 @@
+// Package dist generates the benchmark input distributions driving the
+// paper's evaluation (Wimmer & Träff, "Work-stealing for mixed-mode
+// parallelism by deterministic team-building", SPAA 2011, arXiv:1012.5030,
+// §5 and Tables 1–10).
+//
+// The four paper distributions follow the definitions of Helman, Bader and
+// JáJá ("A randomized parallel sorting algorithm with an experimental
+// study", JPDC 52(1), 1998), instantiated for 31-bit keys:
+//
+//   - Random: independent uniform values in [0, 2³¹).
+//   - Gauss: the average of four consecutive uniform values, approximating
+//     a normal distribution centered at 2³⁰.
+//   - Buckets: the array is split into p consecutive blocks of n/p
+//     elements; within each block the j-th run of n/p² elements holds
+//     uniform values from the j-th of p equal subranges of [0, 2³¹), so
+//     the input is already "bucket sorted" for p processors.
+//   - Staggered: p blocks of n/p elements; block i holds uniform values
+//     from subrange 2i+1 (for i < p/2) or 2i−p (for i ≥ p/2), the
+//     staggered pattern that defeats naive block-cyclic partitioning.
+//
+// The block parameter p of Buckets and Staggered is the processor count of
+// the simulated machine (DefaultP unless overridden via GenerateP).
+//
+// Beyond the paper's four, the registry carries additional scenario kinds
+// used by the wider benchmark suite: Zero (constant keys, zero entropy —
+// also from Helman–Bader–JáJá), Sorted and Reverse (pre-sorted inputs in
+// both directions), RandDup (uniform draws from a small universe of 1024
+// keys, stressing equal-key handling), and WorstCase (a pipe-organ
+// ascending/descending pattern, adversarial for midpoint and
+// median-of-three pivot selection).
+//
+// Every generator is a pure function of (kind, n, seed, p, index): the
+// value at index i never depends on how the rest of the slice is produced.
+// The PRNG is a splittable SplitMix64 stream with O(1) jump-ahead, and each
+// kind declares a fixed number of draws per element, so any subrange
+// [off, off+len(dst)) can be filled independently via Fill and is
+// bit-identical to the sequential Generate output. Package dist/distpar
+// exploits this to generate large inputs in parallel on the repository's
+// own team-building scheduler. This package deliberately does not import
+// internal/core (whose in-package tests import dist), so the scheduler
+// wiring lives in the subpackage.
+package dist

@@ -1,0 +1,64 @@
+package dist
+
+import "testing"
+
+// FuzzParse: Parse must never panic and must round-trip through String for
+// every name it accepts.
+func FuzzParse(f *testing.F) {
+	for _, k := range Kinds {
+		f.Add(k.String())
+	}
+	f.Add("")
+	f.Add("all")
+	f.Add("  RANDOM  ")
+	f.Add("Kind(3)")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !k.Valid() {
+			t.Fatalf("Parse(%q) accepted invalid kind %d", s, int(k))
+		}
+		back, err := Parse(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round trip of %q via %q: %v, %v", s, k.String(), back, err)
+		}
+	})
+}
+
+// FuzzGenerate: no (kind, n, seed, p) combination may panic, return the
+// wrong length, produce negative keys, or break positional consistency.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint8(0), 100, uint64(42), 8)
+	f.Add(uint8(3), 1, uint64(0), 0)
+	f.Add(uint8(8), 4097, uint64(1)<<63, -5)
+	f.Add(uint8(200), 0, uint64(7), 1<<30)
+	f.Fuzz(func(t *testing.T, kb uint8, n int, seed uint64, p int) {
+		k := Kind(int(kb) % int(numKinds))
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 14
+		vs := GenerateP(k, n, seed, p)
+		if len(vs) != n {
+			t.Fatalf("%v: len %d, want %d", k, len(vs), n)
+		}
+		for i, v := range vs {
+			if v < 0 {
+				t.Fatalf("%v n=%d p=%d: negative key %d at %d", k, n, p, v, i)
+			}
+		}
+		if n > 2 {
+			// A mid-slice Fill must agree with the full generation.
+			lo, hi := n/3, 2*n/3
+			part := make([]int32, hi-lo)
+			Fill(k, part, lo, n, seed, p)
+			for i := range part {
+				if part[i] != vs[lo+i] {
+					t.Fatalf("%v: positional fill differs at %d", k, lo+i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package dist
+
+// DefaultP is the default block parameter of Buckets and Staggered: the
+// processor count of the simulated machine. 8 matches the paper's smallest
+// evaluation machine (the 2×4-core Nehalem of Tables 1–2).
+const DefaultP = 8
+
+// keyRange is the Helman–Bader–JáJá key universe [0, 2³¹).
+const keyRange = uint64(1) << 31
+
+// Generate returns n reproducibly seeded values of distribution k with the
+// default block parameter. Same (k, n, seed) always yields the same slice.
+func Generate(k Kind, n int, seed uint64) []int32 {
+	return GenerateP(k, n, seed, DefaultP)
+}
+
+// GenerateP is Generate with an explicit block parameter p (the simulated
+// processor count of Buckets/Staggered; other kinds ignore it). p < 1
+// selects DefaultP.
+func GenerateP(k Kind, n int, seed uint64, p int) []int32 {
+	if n < 0 {
+		n = 0
+	}
+	vs := make([]int32, n)
+	Fill(k, vs, 0, n, seed, p)
+	return vs
+}
+
+// Fill writes into dst the elements with global indices
+// [off, off+len(dst)) of the n-element realization of (k, seed, p). It is
+// the positional core of the package: filling disjoint subranges from any
+// number of goroutines produces output bit-identical to a single
+// sequential Generate call. off and len(dst) must describe a range inside
+// [0, n]. It panics on an unregistered kind.
+func Fill(k Kind, dst []int32, off, n int, seed uint64, p int) {
+	if !k.Valid() {
+		panic("dist: Fill of unregistered " + k.String())
+	}
+	if off < 0 || n < 0 || off+len(dst) > n {
+		panic("dist: Fill range outside [0, n)")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	sp := &registry[k]
+	// Derive the per-kind stream from (seed, kind) so that different kinds
+	// with the same seed draw unrelated values, then seek to the first
+	// element of the range in O(1).
+	rng := NewRNG(mix64(seed + uint64(k)*golden))
+	rng.Skip(uint64(off) * uint64(sp.draws))
+	sp.fill(dst, off, n, rng, clampP(p, n))
+}
+
+// clampP normalizes the block parameter: non-positive selects DefaultP,
+// and p never exceeds n (a block must hold at least one element) nor the
+// key range (a subrange must hold at least one key).
+func clampP(p, n int) int {
+	if p < 1 {
+		p = DefaultP
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if uint64(p) > keyRange {
+		p = int(keyRange)
+	}
+	return p
+}
+
+func fillRandom(dst []int32, _, _ int, rng *RNG, _ int) {
+	for i := range dst {
+		dst[i] = rng.Int31()
+	}
+}
+
+func fillGauss(dst []int32, _, _ int, rng *RNG, _ int) {
+	for i := range dst {
+		s := uint64(rng.Int31()) + uint64(rng.Int31()) +
+			uint64(rng.Int31()) + uint64(rng.Int31())
+		dst[i] = int32(s / 4)
+	}
+}
+
+// fillBuckets: block i/(n/p) of the array, run j within the block (runs of
+// n/p² elements) ⇒ uniform keys from the j-th of p equal subranges.
+func fillBuckets(dst []int32, off, n int, rng *RNG, p int) {
+	width := keyRange / uint64(p)
+	blockSize := n / p
+	subSize := blockSize / p
+	if subSize < 1 {
+		subSize = 1
+	}
+	for i := range dst {
+		gi := off + i
+		pos := gi % blockSize
+		j := pos / subSize
+		if j >= p { // remainder positions fold into the last subrange
+			j = p - 1
+		}
+		dst[i] = int32(uint64(j)*width + rng.Uint64n(width))
+	}
+}
+
+// fillStaggered: block i (of p blocks of n/p) draws from subrange 2i+1
+// when i < p/2 and subrange 2i−p otherwise.
+func fillStaggered(dst []int32, off, n int, rng *RNG, p int) {
+	width := keyRange / uint64(p)
+	blockSize := n / p
+	for i := range dst {
+		ib := (off + i) / blockSize
+		if ib >= p { // remainder elements fold into the last block
+			ib = p - 1
+		}
+		var bucket int
+		if ib < p/2 {
+			bucket = 2*ib + 1
+		} else {
+			bucket = 2*ib - p
+		}
+		if bucket < 0 { // odd p: ib = ⌈p/2⌉−1 maps below the range
+			bucket = 0
+		}
+		dst[i] = int32(uint64(bucket)*width + rng.Uint64n(width))
+	}
+}
+
+func fillZero(dst []int32, _, _ int, _ *RNG, _ int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// sortedValue spreads index i of an n-element array monotonically over the
+// key range.
+func sortedValue(i, n int) int32 {
+	return int32((uint64(i) << 31) / uint64(n))
+}
+
+func fillSorted(dst []int32, off, n int, _ *RNG, _ int) {
+	for i := range dst {
+		dst[i] = sortedValue(off+i, n)
+	}
+}
+
+func fillReverse(dst []int32, off, n int, _ *RNG, _ int) {
+	for i := range dst {
+		dst[i] = sortedValue(n-1-(off+i), n)
+	}
+}
+
+func fillRandDup(dst []int32, _, _ int, rng *RNG, _ int) {
+	// 1024 distinct keys spread evenly over the key range (stride 2²¹).
+	for i := range dst {
+		dst[i] = int32(rng.Uint64n(1024) << 21)
+	}
+}
+
+// fillWorstCase: pipe-organ — ascending to the midpoint, then the mirror
+// descent. Midpoint/median-of-three pivots degrade on it, and it maximizes
+// equal-range merges.
+func fillWorstCase(dst []int32, off, n int, _ *RNG, _ int) {
+	m := (n + 1) / 2
+	for i := range dst {
+		gi := off + i
+		h := gi
+		if gi > n-1-gi {
+			h = n - 1 - gi
+		}
+		dst[i] = int32((uint64(h) << 31) / uint64(m))
+	}
+}

@@ -1,0 +1,71 @@
+package dist
+
+// RNG is a deterministic splittable pseudo-random number generator
+// (SplitMix64, Steele/Lea/Flood, OOPSLA 2014). It exists so that every
+// benchmark input in the repository is reproducible from a single uint64
+// seed with no dependence on math/rand global state, and so that parallel
+// input generation can seek to any stream position in O(1): the i-th draw
+// of the stream seeded with s is mix64(s + (i+1)·golden), a pure function
+// of (s, i).
+//
+// The zero value is a valid generator (the stream of seed 0). RNG is not
+// safe for concurrent use; give each goroutine its own Split.
+type RNG struct {
+	state uint64
+}
+
+// golden is 2⁶⁴/φ, the Weyl-sequence increment of SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanching hash.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator producing the deterministic stream of seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 uniformly distributed bits.
+func (r *RNG) Next() uint64 {
+	r.state += golden
+	return mix64(r.state)
+}
+
+// Skip advances the stream by n draws in O(1).
+func (r *RNG) Skip(n uint64) { r.state += n * golden }
+
+// Split consumes one draw and returns a new generator whose stream is
+// statistically independent of the parent's remaining stream.
+func (r *RNG) Split() *RNG { return NewRNG(r.Next()) }
+
+// Uint32 returns 32 uniformly distributed bits (the high half of Next).
+func (r *RNG) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Int31 returns a uniform value in [0, 2³¹), the key range of the
+// Helman–Bader–JáJá distributions.
+func (r *RNG) Int31() int32 { return int32(r.Next() >> 33) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0. The modulo
+// bias is below 2⁻³² for any n that fits an int32 and irrelevant for
+// workload generation.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n); n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("dist: Uint64n with zero n")
+	}
+	return r.Next() % n
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}

@@ -1,0 +1,92 @@
+package dist
+
+import "testing"
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+	if NewRNG(42).Next() == NewRNG(43).Next() {
+		t.Fatal("adjacent seeds produced identical first draws")
+	}
+}
+
+func TestRNGSkip(t *testing.T) {
+	for _, skip := range []uint64{0, 1, 7, 1000, 1 << 40} {
+		seq := NewRNG(7)
+		for i := uint64(0); i < skip && skip < 1<<20; i++ {
+			seq.Next()
+		}
+		jump := NewRNG(7)
+		jump.Skip(skip)
+		if skip < 1<<20 {
+			if x, y := seq.Next(), jump.Next(); x != y {
+				t.Fatalf("Skip(%d) diverges from %d sequential draws: %d != %d", skip, skip, x, y)
+			}
+		} else if jump.Next() == NewRNG(7).Next() {
+			t.Fatalf("Skip(%d) did not advance the stream", skip)
+		}
+	}
+}
+
+func TestRNGSplit(t *testing.T) {
+	parent := NewRNG(5)
+	child := parent.Split()
+	// The child stream must not simply replay the parent's.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Next() == child.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 draws collide between parent and child", same)
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+		if v := r.Int31(); v < 0 {
+			t.Fatalf("Int31 = %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		if v := r.Uint64n(3); v >= 3 {
+			t.Fatalf("Uint64n(3) = %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// TestRNGUniformity is a coarse chi-squared-free sanity check: each of 16
+// equal bins of Intn should hold its share of draws within 5%.
+func TestRNGUniformity(t *testing.T) {
+	const draws, bins = 1 << 18, 16
+	r := NewRNG(99)
+	var counts [bins]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(bins)]++
+	}
+	want := draws / bins
+	for b, c := range counts {
+		if c < want*95/100 || c > want*105/100 {
+			t.Fatalf("bin %d: %d draws, want %d ±5%%", b, c, want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/classic"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/distpar"
 	"repro/internal/qsort"
 )
 
@@ -157,7 +158,7 @@ func Run(cfg Config, progress io.Writer) (*Result, error) {
 	var buf []int32
 	for _, kind := range cfg.Kinds {
 		for _, size := range cfg.Sizes {
-			input := dist.Generate(kind, size, cfg.Seed+uint64(size))
+			input := generateInput(cfg, kind, size)
 			if cap(buf) < size {
 				buf = make([]int32, size)
 			}
@@ -176,6 +177,14 @@ func Run(cfg Config, progress io.Writer) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// generateInput produces one table row's input. Large inputs are filled by
+// a worker team on a short-lived scheduler (shut down before any timing
+// starts); the output is bit-identical to sequential generation, so table
+// results do not depend on the path taken.
+func generateInput(cfg Config, kind dist.Kind, size int) []int32 {
+	return distpar.GenerateWithWorkers(cfg.P, kind, size, cfg.Seed+uint64(size))
 }
 
 // measure times one algorithm cfg.Reps times on copies of input.

@@ -1,0 +1,30 @@
+package topo
+
+import (
+	"runtime"
+	"sync"
+)
+
+var gmpMu sync.Mutex
+
+// EnsureGOMAXPROCS raises GOMAXPROCS to at least p (it never lowers it).
+//
+// The paper's workers are OS threads, which the operating system preempts
+// independently; a scheduler of p workers therefore assumes p independently
+// scheduled threads. With GOMAXPROCS < p, several polling workers share one
+// runtime P and the coordination protocol (register → gather → publish →
+// pick up) can phase-lock: each actor wakes, observes the state left by the
+// previous one, and re-parks without the overlap in execution that lets a
+// team fix. Every scheduler constructor calls this so that worker counts
+// above the host's CPU count run oversubscribed on real threads, exactly
+// like the paper's own SMT oversubscription runs (Tables 7–10).
+func EnsureGOMAXPROCS(p int) {
+	if p <= runtime.GOMAXPROCS(0) {
+		return
+	}
+	gmpMu.Lock()
+	defer gmpMu.Unlock()
+	if cur := runtime.GOMAXPROCS(0); p > cur {
+		runtime.GOMAXPROCS(p)
+	}
+}

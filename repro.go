@@ -27,6 +27,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/distpar"
 	"repro/internal/msort"
 	"repro/internal/qsort"
 	"repro/internal/stats"
@@ -113,15 +114,37 @@ func SortMergeMixedMode[T Ordered](s *Scheduler, data []T, opt MSOptions) {
 // Distribution identifies one of the paper's benchmark input distributions.
 type Distribution = dist.Kind
 
-// Benchmark input distributions (§5; Helman–Bader–JáJá definitions).
+// Benchmark input distributions: the paper's four (§5; Helman–Bader–JáJá
+// definitions) plus the additional scenario kinds of the wider suite.
 const (
 	Random    = dist.Random
 	Gauss     = dist.Gauss
 	Buckets   = dist.Buckets
 	Staggered = dist.Staggered
+	Zero      = dist.Zero
+	Sorted    = dist.Sorted
+	Reverse   = dist.Reverse
+	RandDup   = dist.RandDup
+	WorstCase = dist.WorstCase
 )
+
+// Distributions returns every registered distribution. The slice is a
+// copy; callers may reorder it freely.
+func Distributions() []Distribution {
+	return append([]Distribution(nil), dist.Kinds...)
+}
+
+// ParseDistribution resolves a distribution name (e.g. "staggered"),
+// case-insensitively.
+func ParseDistribution(s string) (Distribution, error) { return dist.Parse(s) }
 
 // GenerateInput returns n reproducibly seeded values of the distribution.
 func GenerateInput(k Distribution, n int, seed uint64) []int32 {
 	return dist.Generate(k, n, seed)
+}
+
+// GenerateInputParallel is GenerateInput computed by a worker team of s;
+// the output is bit-identical to the sequential GenerateInput.
+func GenerateInputParallel(s *Scheduler, k Distribution, n int, seed uint64) []int32 {
+	return distpar.Generate(s, k, n, seed)
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# Tier-1 verification gate plus static and race checks. CI and pre-commit
+# entry point; `make check` delegates here.
+
+cd "$(dirname "$0")/.."
+
+echo "check: gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "${unformatted}" ]]; then
+  echo "check: FAIL (gofmt needed on: ${unformatted})"
+  exit 1
+fi
+
+echo "check: go build ./..."
+go build ./...
+
+echo "check: go vet ./..."
+go vet ./...
+
+echo "check: go test ./..."
+go test ./...
+
+echo "check: go test -race ./internal/core ./internal/dist ./internal/dist/distpar"
+go test -race ./internal/core ./internal/dist ./internal/dist/distpar
+
+echo "check: PASS"

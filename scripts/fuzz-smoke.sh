@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# Bounded fuzzing pass for panic/crash detection.
+#
+# This verifier is intentionally short-running (FUZZTIME per target, 10s by
+# default); it exists to catch generator panics and registry regressions in
+# CI, not to replace long-running fuzz campaigns. It is expected to grow
+# targeted fuzz functions over time.
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-10s}
+failures=0
+
+fuzzRegex='^func[[:space:]]+Fuzz[A-Za-z0-9_]+'
+missing=()
+
+for dir in internal/dist; do
+  if ! grep -rEn --include='*_test.go' "${fuzzRegex}" "${dir}" >/dev/null 2>&1; then
+    missing+=("${dir}")
+  fi
+done
+
+if [[ "${#missing[@]}" -ne 0 ]]; then
+  echo "fuzz-smoke: FAIL (no fuzz targets found in: ${missing[*]})"
+  echo "Add at least one 'func FuzzXxx(f *testing.F)' in each package group."
+  exit 1
+fi
+
+echo "fuzz-smoke: running bounded fuzz pass (${FUZZTIME} per target)"
+
+# The go toolchain fuzzes one target per invocation; enumerate them.
+for t in $(go test -list 'Fuzz.*' ./internal/dist | grep -E '^Fuzz'); do
+  echo "fuzz-smoke: ${t}"
+  go test ./internal/dist -run '^$' -fuzz "^${t}\$" -fuzztime="${FUZZTIME}" || failures=$((failures + 1))
+done
+
+if [[ "${failures}" -ne 0 ]]; then
+  echo "fuzz-smoke: FAIL (${failures} fuzz target(s) failed)"
+  exit 1
+fi
+
+echo "fuzz-smoke: PASS"
