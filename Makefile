@@ -1,5 +1,5 @@
 # Tier-1 gate (ROADMAP.md): build + test, plus vet and targeted race runs.
-.PHONY: all build test vet race check fuzz-smoke bench tables
+.PHONY: all build test vet race check fuzz-smoke bench bench-json bench-smoke tables
 
 all: check
 
@@ -13,7 +13,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/core ./internal/dist ./internal/dist/distpar
+	go test -race ./internal/core ./internal/dist ./internal/dist/distpar ./internal/par ./internal/ssort
 
 # Full verification gate: build, vet, test, race.
 check:
@@ -25,6 +25,15 @@ fuzz-smoke:
 
 bench:
 	go test -bench=. -benchtime=1x .
+
+# Benchmark trajectory: BENCH_par.json + BENCH_sort.json via scripts/bench.sh.
+bench-json:
+	./scripts/bench.sh
+
+# One tiny repetition of each trajectory benchmark — build-and-run only, so
+# the benchmarks can't bit-rot (part of scripts/check.sh).
+bench-smoke:
+	BENCHTIME=1x OUTDIR=$${OUTDIR:-/tmp} ./scripts/bench.sh
 
 tables:
 	go run ./cmd/tables -table 1

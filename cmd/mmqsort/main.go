@@ -6,6 +6,7 @@
 //
 //	mmqsort -n 10000000 -dist staggered -algo mmpar -p 8
 //	mmqsort -n 8388607 -algo fork -cutoff 256
+//	mmqsort -n 10000000 -algo ssort
 //	mmqsort -n 1000000 -algo all
 package main
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/dist/distpar"
 	"repro/internal/msort"
 	"repro/internal/qsort"
+	"repro/internal/ssort"
 )
 
 func main() {
@@ -33,7 +35,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 10_000_000, "number of 4-byte integers to sort")
 		distStr = flag.String("dist", "random", "distribution: "+strings.Join(names, "|"))
-		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|msort|all (all excludes msort)")
+		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|ssort|msort|all (all excludes msort)")
 		p       = flag.Int("p", 0, "workers (default NumCPU)")
 		seed    = flag.Uint64("seed", 42, "input seed")
 		reps    = flag.Int("reps", 1, "repetitions")
@@ -54,7 +56,7 @@ func main() {
 
 	algos := []string{*algo}
 	if *algo == "all" {
-		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar"}
+		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar", "ssort"}
 	}
 	for _, a := range algos {
 		var best, total time.Duration
@@ -112,6 +114,19 @@ func main() {
 				opt := qsort.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk}
 				start := time.Now()
 				qsort.MixedMode(s, buf, opt)
+				el = time.Since(start)
+				if *stats {
+					schedStats = s.Stats().String()
+				}
+				s.Shutdown()
+			case "ssort":
+				s := core.New(core.Options{P: *p, Seed: *seed})
+				// MinPerThread mirrors the mmpar team quota (block · minblocks),
+				// as in the harness, so the two mixed-mode algorithms form teams
+				// at the same scales under identical flags.
+				opt := ssort.Options{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
+				start := time.Now()
+				ssort.Sort(s, buf, opt)
 				el = time.Since(start)
 				if *stats {
 					schedStats = s.Stats().String()

@@ -9,6 +9,7 @@
 //	tables -table 5 -full      # the machine-sized grid (up to 2^27−1)
 //	tables -table 1 -sizes 1000000,8388607 -reps 5
 //	tables -table 1 -dists sorted,randdup,worstcase
+//	tables -table 1 -algos seqstl,ssort    # samplesort rows in isolation
 //	tables -table 2 -csv out.csv
 //
 // Worker counts above the host's CPU count (Tables 5–10 on small hosts) are
@@ -36,6 +37,7 @@ func main() {
 		p       = flag.Int("p", 0, "override worker count")
 		sizes   = flag.String("sizes", "", "override input sizes, comma-separated")
 		dists   = flag.String("dists", "", "override distributions, comma-separated (any registered kind, e.g. sorted,randdup)")
+		algos   = flag.String("algos", "", "override algorithm columns, comma-separated (e.g. seqstl,mmpar,ssort)")
 		seed    = flag.Uint64("seed", 42, "input generator seed")
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		quiet   = flag.Bool("q", false, "suppress per-cell progress output")
@@ -90,6 +92,17 @@ func main() {
 					os.Exit(2)
 				}
 				cfg.Kinds = append(cfg.Kinds, k)
+			}
+		}
+		if *algos != "" {
+			cfg.Algs = nil
+			for _, s := range strings.Split(*algos, ",") {
+				a, err := harness.ParseAlgorithm(s)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				cfg.Algs = append(cfg.Algs, a)
 			}
 		}
 		if cfg.P > runtime.NumCPU() {

@@ -24,17 +24,28 @@ func ForStatic(np, n int, body func(ctx *Ctx, lo, hi int)) Task {
 	})
 }
 
+// DefaultChunk returns the default dynamic-schedule chunk size for np team
+// members over n indices: n/(8·np), at least 1 — eight chunks per member,
+// balancing claim overhead against end-of-range imbalance. It is the one
+// place the heuristic lives; callers picking chunk sizes for dynamic
+// schedules (internal/par, internal/dist/distpar) use it rather than
+// re-deriving it.
+func DefaultChunk(np, n int) int {
+	chunk := n / (8 * np)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
 // ForDynamic returns a team task of np threads executing body over [0, n)
 // with a dynamic schedule: members repeatedly claim chunks of the given size
 // from a shared counter, which balances irregular per-index costs inside the
 // team (the same end-pointer acquisition pattern as the paper's
-// data-parallel partitioning step). chunk ≤ 0 selects n/(8·np), at least 1.
+// data-parallel partitioning step). chunk ≤ 0 selects DefaultChunk(np, n).
 func ForDynamic(np, n, chunk int, body func(ctx *Ctx, lo, hi int)) Task {
 	if chunk <= 0 {
-		chunk = n / (8 * np)
-		if chunk < 1 {
-			chunk = 1
-		}
+		chunk = DefaultChunk(np, n)
 	}
 	var next atomic.Int64
 	return Func(np, func(ctx *Ctx) {

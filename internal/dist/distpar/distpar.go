@@ -1,10 +1,10 @@
 // Package distpar generates benchmark inputs in parallel on the
 // repository's own team-building scheduler — the first in-repo consumer of
 // the scheduler outside the benchmarks themselves. A full-width team fills
-// disjoint contiguous chunks via dist.Fill (core.ForStatic's static
-// schedule), and because every dist generator is positional the result is
-// bit-identical to the sequential dist.Generate output for every kind,
-// seed and block parameter.
+// disjoint contiguous chunks via dist.Fill (core.ForDynamic's dynamic
+// schedule with the core.DefaultChunk chunk size), and because every dist
+// generator is positional the result is bit-identical to the sequential
+// dist.Generate output for every kind, seed and block parameter.
 //
 // This lives in a subpackage because internal/core's in-package tests
 // import internal/dist; dist itself therefore must not import core.
@@ -27,9 +27,13 @@ func Generate(s *core.Scheduler, k dist.Kind, n int, seed uint64) []int32 {
 }
 
 // GenerateP is dist.GenerateP computed on s: a team of s.MaxTeam() workers
-// fills one contiguous chunk each. Inputs below MinParallel (or a
-// single-worker scheduler) are generated sequentially; either way the
-// output is bit-identical to dist.GenerateP(k, n, seed, p).
+// fills disjoint contiguous chunks claimed dynamically (core.DefaultChunk
+// elements per claim, so per-kind cost differences — Gauss draws four
+// values per element, Sorted none — balance inside the team). Inputs below
+// MinParallel (or a single-worker scheduler) are generated sequentially;
+// every generator is positional, so the output is bit-identical to
+// dist.GenerateP(k, n, seed, p) whichever path and chunk interleaving is
+// taken.
 func GenerateP(s *core.Scheduler, k dist.Kind, n int, seed uint64, p int) []int32 {
 	if n < 0 {
 		n = 0
@@ -42,7 +46,7 @@ func GenerateP(s *core.Scheduler, k dist.Kind, n int, seed uint64, p int) []int3
 		return dist.GenerateP(k, n, seed, p)
 	}
 	vs := make([]int32, n)
-	s.Run(core.ForStatic(np, n, func(_ *core.Ctx, lo, hi int) {
+	s.Run(core.ForDynamic(np, n, core.DefaultChunk(np, n), func(_ *core.Ctx, lo, hi int) {
 		dist.Fill(k, vs[lo:hi], lo, n, seed, p)
 	}))
 	return vs

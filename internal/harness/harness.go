@@ -11,6 +11,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cilk"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dist/distpar"
 	"repro/internal/qsort"
+	"repro/internal/ssort"
 )
 
 // Algorithm identifies one column group of the paper's tables.
@@ -32,10 +35,12 @@ const (
 	Cilk                        // Algorithm 10 on the Cilk-style scheduler
 	CilkSample                  // sample-pivot variant on the Cilk-style scheduler
 	MMPar                       // Algorithm 11 (mixed-mode) on the team-building scheduler
+	SSort                       // mixed-mode samplesort (internal/ssort) on the team builder
 	numAlgorithms
 )
 
-// String returns the column label used in the paper.
+// String returns the column label used in the paper (SSort is this
+// repository's extension column).
 func (a Algorithm) String() string {
 	switch a {
 	case SeqSTL:
@@ -52,9 +57,38 @@ func (a Algorithm) String() string {
 		return "Cilk sample"
 	case MMPar:
 		return "MMPar"
+	case SSort:
+		return "SSort"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// algNames maps every accepted -algos name (lower-case) to its column.
+var algNames = map[string]Algorithm{
+	"seqstl": SeqSTL, "seq": SeqSTL, "stl": SeqSTL, "seq/stl": SeqSTL,
+	"seqqs":      SeqQS,
+	"fork":       Fork,
+	"randfork":   Randfork,
+	"cilk":       Cilk,
+	"cilksample": CilkSample, "cilk-sample": CilkSample, "cilk sample": CilkSample,
+	"mmpar": MMPar,
+	"ssort": SSort, "samplesort": SSort,
+}
+
+// ParseAlgorithm resolves an algorithm column name (e.g. "mmpar",
+// "ssort"), case-insensitively.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	if a, ok := algNames[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return a, nil
+	}
+	names := make([]string, 0, len(algNames))
+	for name := range algNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return 0, fmt.Errorf("harness: unknown algorithm %q (want one of %s)",
+		s, strings.Join(names, "|"))
 }
 
 // Config describes one table's experiment grid.
@@ -65,6 +99,7 @@ type Config struct {
 	Sizes    []int       // input sizes (rows within each distribution)
 	Kinds    []dist.Kind // distributions (row groups)
 	WithCilk bool        // include the Cilk columns (Tables 1, 2, 5, 6)
+	Algs     []Algorithm // algorithm columns; empty selects the default set
 	Seed     uint64
 
 	// Sorting tunables (§5 defaults when zero).
@@ -94,6 +129,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinBlocks < 1 {
 		c.MinBlocks = qsort.DefaultMinBlocksPerThread
+	}
+	if len(c.Algs) == 0 {
+		c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, MMPar, SSort}
+		if c.WithCilk {
+			c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, Cilk, CilkSample, MMPar, SSort}
+		}
 	}
 	return c
 }
@@ -151,10 +192,7 @@ func (m Mode) String() string {
 func Run(cfg Config, progress io.Writer) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Cfg: cfg}
-	algs := []Algorithm{SeqSTL, SeqQS, Fork, Randfork, MMPar}
-	if cfg.WithCilk {
-		algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, Cilk, CilkSample, MMPar}
-	}
+	algs := cfg.Algs
 	var buf []int32
 	for _, kind := range cfg.Kinds {
 		for _, size := range cfg.Sizes {
@@ -248,6 +286,16 @@ func measure(cfg Config, alg Algorithm, input, buf []int32) (Cell, error) {
 			MinBlocksPerThread: cfg.MinBlocks}
 		for r := 0; r < cfg.Reps && err == nil; r++ {
 			err = runOnce(func(d []int32) { qsort.MixedMode(s, d, opt) })
+		}
+	case SSort:
+		s := core.New(core.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		// MinPerThread mirrors the MMPar team quota (BlockSize·MinBlocks)
+		// so both mixed-mode columns form teams at the same scales.
+		opt := ssort.Options{Cutoff: cfg.Cutoff,
+			MinPerThread: cfg.BlockSize * cfg.MinBlocks}
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { ssort.Sort(s, d, opt) })
 		}
 	default:
 		err = fmt.Errorf("unknown algorithm %v", alg)

@@ -96,8 +96,8 @@ func TestCSV(t *testing.T) {
 	}
 	csv := res.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	// header + 2 rows × 5 algorithms
-	if len(lines) != 1+2*5 {
+	// header + 2 rows × 6 algorithms
+	if len(lines) != 1+2*6 {
 		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
 	}
 	if !strings.HasPrefix(lines[0], "distribution,size,algorithm") {
@@ -143,10 +143,71 @@ func TestModeString(t *testing.T) {
 }
 
 func TestAlgorithmString(t *testing.T) {
-	want := []string{"Seq/STL", "SeqQS", "Fork", "Randfork", "Cilk", "Cilk sample", "MMPar"}
+	want := []string{"Seq/STL", "SeqQS", "Fork", "Randfork", "Cilk", "Cilk sample", "MMPar", "SSort"}
 	for a := Algorithm(0); a < numAlgorithms; a++ {
 		if a.String() != want[a] {
 			t.Fatalf("Algorithm(%d).String() = %q, want %q", a, a.String(), want[a])
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"seqstl": SeqSTL, "SEQ": SeqSTL, "seqqs": SeqQS, "fork": Fork,
+		"randfork": Randfork, "cilk": Cilk, "CilkSample": CilkSample,
+		"mmpar": MMPar, "ssort": SSort, " samplesort ": SSort,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("bogosort"); err == nil {
+		t.Fatal("unknown algorithm must be rejected")
+	}
+}
+
+func TestAlgsSubset(t *testing.T) {
+	cfg := tinyConfig(false)
+	cfg.Algs = []Algorithm{SeqSTL, SSort}
+	res, err := Run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for a := Algorithm(0); a < numAlgorithms; a++ {
+			want := a == SeqSTL || a == SSort
+			if row.Ran[a] != want {
+				t.Fatalf("algorithm %v ran=%v, want %v", a, row.Ran[a], want)
+			}
+		}
+	}
+	out := res.Table(Avg)
+	if !strings.Contains(out, "SSort") || !strings.Contains(out, "SU") {
+		t.Fatalf("subset table missing columns:\n%s", out)
+	}
+	if strings.Contains(out, "MMPar") {
+		t.Fatalf("subset table must omit unselected columns:\n%s", out)
+	}
+	csv := res.CSV()
+	if lines := strings.Split(strings.TrimSpace(csv), "\n"); len(lines) != 1+2*2 {
+		t.Fatalf("subset csv lines = %d:\n%s", len(lines), csv)
+	}
+}
+
+// TestCSVWithoutBaseline checks that speedup fields are left empty (not a
+// fictitious 0) when the Seq/STL baseline column is excluded.
+func TestCSVWithoutBaseline(t *testing.T) {
+	cfg := tinyConfig(false)
+	cfg.Algs = []Algorithm{MMPar, SSort}
+	res, err := Run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.CSV()), "\n")
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",,") {
+			t.Fatalf("baseline-less csv row must end with empty speedups: %q", line)
 		}
 	}
 }

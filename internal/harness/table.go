@@ -25,20 +25,58 @@ func (r Row) Speedup(alg Algorithm, m Mode) float64 {
 	return base / v
 }
 
+// algorithms returns the columns that actually ran, in enum order (the
+// union over all rows, so a -algos subset renders only its columns).
+func (r *Result) algorithms() []Algorithm {
+	var present [numAlgorithms]bool
+	for _, row := range r.Rows {
+		for a := Algorithm(0); a < numAlgorithms; a++ {
+			if row.Ran[a] {
+				present[a] = true
+			}
+		}
+	}
+	algs := make([]Algorithm, 0, numAlgorithms)
+	for a := Algorithm(0); a < numAlgorithms; a++ {
+		if present[a] {
+			algs = append(algs, a)
+		}
+	}
+	return algs
+}
+
+// suColumns marks the algorithms that get a speedup column next to their
+// time, as in the paper's tables (Fork, Cilk, MMPar) plus the SSort
+// extension column. Speedups are relative to Seq/STL, so they render only
+// when that column ran.
+var suColumns = map[Algorithm]bool{Fork: true, Cilk: true, MMPar: true, SSort: true}
+
 // Table renders the result in the paper's layout: rows grouped by
-// distribution, columns Seq/STL, SeqQS, Fork(+SU), Randfork, [Cilk(+SU),
-// Cilk sample,] MMPar(+SU).
+// distribution, one time column per algorithm that ran (Seq/STL, SeqQS,
+// Fork(+SU), Randfork, [Cilk(+SU), Cilk sample,] MMPar(+SU), SSort(+SU)),
+// with speedup columns when the Seq/STL baseline is present.
 func (r *Result) Table(m Mode) string {
 	var b strings.Builder
-	withCilk := r.Cfg.WithCilk
+	algs := r.algorithms()
+	var ranSTL bool
+	for _, a := range algs {
+		ranSTL = ranSTL || a == SeqSTL
+	}
 	fmt.Fprintf(&b, "%s — %s running times over %d repetitions (p=%d), seconds\n",
 		r.Cfg.Name, m, r.Cfg.Reps, r.Cfg.P)
-	header := fmt.Sprintf("%-10s %11s %9s %9s %9s %5s %9s", "Type", "Size",
-		"Seq/STL", "SeqQS", "Fork", "SU", "Randfork")
-	if withCilk {
-		header += fmt.Sprintf(" %9s %5s %11s", "Cilk", "SU", "Cilk sample")
+	header := fmt.Sprintf("%-10s %11s", "Type", "Size")
+	widths := make([]int, len(algs))
+	for i, a := range algs {
+		label := a.String()
+		widths[i] = len(label)
+		if widths[i] < 9 {
+			widths[i] = 9
+		}
+		header += fmt.Sprintf(" %*s", widths[i], label)
+		if ranSTL && suColumns[a] {
+			header += fmt.Sprintf(" %5s", "SU")
+		}
 	}
-	header += fmt.Sprintf(" %9s %5s", "MMPar", "SU")
 	b.WriteString(header)
 	b.WriteByte('\n')
 	b.WriteString(strings.Repeat("-", len(header)))
@@ -51,24 +89,22 @@ func (r *Result) Table(m Mode) string {
 		} else {
 			lastKind = kind
 		}
-		fmt.Fprintf(&b, "%-10s %11d %9.3f %9.3f %9.3f %5.1f %9.3f",
-			kind, row.Size,
-			row.Cells[SeqSTL].value(m), row.Cells[SeqQS].value(m),
-			row.Cells[Fork].value(m), row.Speedup(Fork, m),
-			row.Cells[Randfork].value(m))
-		if withCilk {
-			fmt.Fprintf(&b, " %9.3f %5.1f %11.3f",
-				row.Cells[Cilk].value(m), row.Speedup(Cilk, m),
-				row.Cells[CilkSample].value(m))
+		fmt.Fprintf(&b, "%-10s %11d", kind, row.Size)
+		for i, a := range algs {
+			fmt.Fprintf(&b, " %*.3f", widths[i], row.Cells[a].value(m))
+			if ranSTL && suColumns[a] {
+				fmt.Fprintf(&b, " %5.1f", row.Speedup(a, m))
+			}
 		}
-		fmt.Fprintf(&b, " %9.3f %5.1f\n",
-			row.Cells[MMPar].value(m), row.Speedup(MMPar, m))
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
 // CSV renders the result as comma-separated values with both aggregations,
-// for downstream plotting.
+// for downstream plotting. Speedups are relative to the Seq/STL baseline;
+// when that column was not run (an -algos subset) the speedup fields are
+// left empty rather than recording a fictitious 0.
 func (r *Result) CSV() string {
 	var b strings.Builder
 	b.WriteString("distribution,size,algorithm,avg_seconds,best_seconds,avg_speedup,best_speedup\n")
@@ -77,10 +113,14 @@ func (r *Result) CSV() string {
 			if !row.Ran[alg] {
 				continue
 			}
-			fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f,%.3f,%.3f\n",
+			fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f",
 				row.Kind, row.Size, alg,
-				row.Cells[alg].Avg, row.Cells[alg].Best,
-				row.Speedup(alg, Avg), row.Speedup(alg, Best))
+				row.Cells[alg].Avg, row.Cells[alg].Best)
+			if row.Ran[SeqSTL] {
+				fmt.Fprintf(&b, ",%.3f,%.3f\n", row.Speedup(alg, Avg), row.Speedup(alg, Best))
+			} else {
+				b.WriteString(",,\n")
+			}
 		}
 	}
 	return b.String()

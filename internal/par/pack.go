@@ -1,0 +1,100 @@
+package par
+
+import "repro/internal/core"
+
+// Packer is the shared state of a team compaction: one padded count slot
+// per member. Allocate once per task with NewPacker and share via the task
+// closure.
+type Packer[T any] struct {
+	counts []slot[int]
+}
+
+// NewPacker returns compaction state for teams of up to np members.
+func NewPacker[T any](np int) *Packer[T] {
+	return &Packer[T]{counts: make([]slot[int], np)}
+}
+
+// Pack is a collective stable compaction: the elements src[i] with
+// keep(i, src[i]) true are copied into dst in their original order, and
+// the kept count is returned to every member. It is the flag-scan +
+// scatter pattern: each member counts the keeps of its static chunk
+// (Chunk), the counts are scanned exclusively across the team barrier, and
+// each member scatters its survivors starting at its prefix offset —
+// chunks are contiguous and in member order, so stability is free.
+//
+// dst must not alias src and must have room for every kept element; keep
+// must be pure (it is evaluated twice per index). A team of size 1 runs
+// the sequential oracle.
+func (p *Packer[T]) Pack(ctx *core.Ctx, src, dst []T, keep func(i int, v T) bool) int {
+	w, lid := ctx.TeamSize(), ctx.LocalID()
+	if w == 1 {
+		return SeqPack(src, dst, keep)
+	}
+	checkTeam(w, len(p.counts))
+	lo, hi := Chunk(lid, w, len(src))
+
+	// Phase 1: flag-count this member's chunk.
+	c := 0
+	for i := lo; i < hi; i++ {
+		if keep(i, src[i]) {
+			c++
+		}
+	}
+	p.counts[lid].v = c
+	ctx.Barrier()
+
+	// Phase 2: exclusive prefix of the counts (recomputed per member) and
+	// the order-preserving scatter of this member's survivors.
+	off := 0
+	for m := 0; m < lid; m++ {
+		off += p.counts[m].v
+	}
+	total := off
+	for m := lid; m < w; m++ {
+		total += p.counts[m].v
+	}
+	j := off
+	for i := lo; i < hi; i++ {
+		if keep(i, src[i]) {
+			dst[j] = src[i]
+			j++
+		}
+	}
+	// Trailing barrier: dst is fully packed (and the state reusable) for
+	// every member once it returns.
+	ctx.Barrier()
+	return total
+}
+
+// SeqPack is the sequential oracle of Pack.
+func SeqPack[T any](src, dst []T, keep func(i int, v T) bool) int {
+	j := 0
+	for i, v := range src {
+		if keep(i, v) {
+			dst[j] = v
+			j++
+		}
+	}
+	return j
+}
+
+// Pack returns a team task of np members stably compacting the kept
+// elements of src into dst; the kept count is stored into *outN when
+// non-nil. dst must not alias src.
+func Pack[T any](np int, src, dst []T, keep func(i int, v T) bool, outN *int) core.Task {
+	if np == 1 {
+		return core.Solo(func(*core.Ctx) {
+			n := SeqPack(src, dst, keep)
+			if outN != nil {
+				*outN = n
+			}
+		})
+	}
+	p := NewPacker[T](np)
+	return core.Func(np, func(ctx *core.Ctx) {
+		n := p.Pack(ctx, src, dst, keep)
+		if ctx.LocalID() == 0 && outN != nil {
+			*outN = n
+		}
+	})
+}

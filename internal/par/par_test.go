@@ -1,0 +1,279 @@
+package par_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/par"
+)
+
+// The property suite checks every primitive against its sequential oracle
+// across all registered input distributions and team sizes {1, 2, 3, 7, P}
+// (1 = oracle path, powers of two = full teams, 3 and 7 = Refinement 2's
+// rounded-up teams with surplus members).
+
+const propN = 10_007 // odd, so chunk boundaries never align with anything
+
+func teamSizes(s *core.Scheduler) []int {
+	return []int{1, 2, 3, 7, s.MaxTeam()}
+}
+
+func propSched(t testing.TB) *core.Scheduler {
+	t.Helper()
+	s := core.New(core.Options{P: 8})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// forEachInput runs f on one input of every registered distribution.
+func forEachInput(t *testing.T, f func(t *testing.T, kind dist.Kind, in []int32)) {
+	t.Helper()
+	for _, kind := range dist.Kinds {
+		in := dist.Generate(kind, propN, 7)
+		t.Run(kind.String(), func(t *testing.T) { f(t, kind, in) })
+	}
+}
+
+func TestReduceMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		add := func(a, b int64) int64 { return a + b }
+		at := func(i int) int64 { return int64(in[i]) }
+		want := par.SeqReduce(len(in), 0, at, add)
+		for _, np := range teamSizes(s) {
+			var got int64
+			s.Run(par.Reduce(np, len(in), 0, at, add, &got))
+			if got != want {
+				t.Fatalf("np=%d: reduce = %d, want %d", np, got, want)
+			}
+		}
+	})
+}
+
+func TestScanMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	add := func(a, b int32) int32 { return a + b } // wraps identically in oracle and team
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		wantIncl := append([]int32(nil), in...)
+		wantTotIncl := par.SeqScanInclusive(0, add, wantIncl)
+		wantExcl := append([]int32(nil), in...)
+		wantTotExcl := par.SeqScanExclusive(0, add, wantExcl)
+		for _, np := range teamSizes(s) {
+			gotI := append([]int32(nil), in...)
+			var totI int32
+			s.Run(par.ScanInclusive(np, gotI, 0, add, &totI))
+			checkSlice(t, "inclusive", np, gotI, wantIncl)
+			if totI != wantTotIncl {
+				t.Fatalf("np=%d: inclusive total = %d, want %d", np, totI, wantTotIncl)
+			}
+			gotE := append([]int32(nil), in...)
+			var totE int32
+			s.Run(par.ScanExclusive(np, gotE, 0, add, &totE))
+			checkSlice(t, "exclusive", np, gotE, wantExcl)
+			if totE != wantTotExcl {
+				t.Fatalf("np=%d: exclusive total = %d, want %d", np, totE, wantTotExcl)
+			}
+		}
+	})
+}
+
+func TestPackMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	keep := func(_ int, v int32) bool { return v%3 == 0 }
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		wantDst := make([]int32, len(in))
+		wantN := par.SeqPack(in, wantDst, keep)
+		for _, np := range teamSizes(s) {
+			dst := make([]int32, len(in))
+			var n int
+			s.Run(par.Pack(np, in, dst, keep, &n))
+			if n != wantN {
+				t.Fatalf("np=%d: pack count = %d, want %d", np, n, wantN)
+			}
+			checkSlice(t, "pack", np, dst[:n], wantDst[:wantN])
+		}
+	})
+}
+
+func TestHistogramMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	const nb = 37
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		bucketOf := func(i int) int { return int(uint32(in[i]) % nb) }
+		want := par.SeqHistogram(len(in), nb, bucketOf)
+		for _, np := range teamSizes(s) {
+			got := make([]int, nb)
+			s.Run(par.Histogram(np, len(in), nb, bucketOf, got))
+			checkSlice(t, "histogram", np, got, want)
+		}
+	})
+}
+
+func TestMinMaxMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		wantMin, wantMax := par.SeqMinMax(in)
+		for _, np := range teamSizes(s) {
+			var gotMin, gotMax int32
+			s.Run(par.MinMax(np, in, &gotMin, &gotMax))
+			if gotMin != wantMin || gotMax != wantMax {
+				t.Fatalf("np=%d: minmax = (%d, %d), want (%d, %d)",
+					np, gotMin, gotMax, wantMin, wantMax)
+			}
+		}
+	})
+}
+
+func TestMapMatchesOracle(t *testing.T) {
+	s := propSched(t)
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		f := func(i int) int64 { return 3*int64(in[i]) + int64(i) }
+		want := make([]int64, len(in))
+		for i := range want {
+			want[i] = f(i)
+		}
+		for _, np := range teamSizes(s) {
+			got := make([]int64, len(in))
+			s.Run(par.Map(np, got, f))
+			checkSlice(t, "map", np, got, want)
+		}
+	})
+}
+
+// TestEmptyAndTinyInputs pins the edge cases where chunks are empty: more
+// team members than elements, and zero elements.
+func TestEmptyAndTinyInputs(t *testing.T) {
+	s := propSched(t)
+	add := func(a, b int64) int64 { return a + b }
+	for _, n := range []int{0, 1, 2, 5} {
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(i + 1)
+		}
+		for _, np := range teamSizes(s) {
+			var sum int64
+			s.Run(par.Reduce(np, n, 0, func(i int) int64 { return in[i] }, add, &sum))
+			want := par.SeqReduce(n, 0, func(i int) int64 { return in[i] }, add)
+			if sum != want {
+				t.Fatalf("n=%d np=%d: reduce = %d, want %d", n, np, sum, want)
+			}
+			scan := append([]int64(nil), in...)
+			s.Run(par.ScanExclusive(np, scan, 0, add, nil))
+			wantScan := append([]int64(nil), in...)
+			par.SeqScanExclusive(0, add, wantScan)
+			checkSlice(t, "tiny-scan", np, scan, wantScan)
+			var mn, mx int64
+			s.Run(par.MinMax(np, in, &mn, &mx))
+			wantMn, wantMx := par.SeqMinMax(in)
+			if mn != wantMn || mx != wantMx {
+				t.Fatalf("n=%d np=%d: minmax = (%d, %d), want (%d, %d)",
+					n, np, mn, mx, wantMn, wantMx)
+			}
+		}
+	}
+}
+
+// TestPackStability checks that Pack preserves the relative order of kept
+// elements (the property samplesort's scatter relies on).
+func TestPackStability(t *testing.T) {
+	s := propSched(t)
+	type pair struct{ key, seq int32 }
+	n := 5000
+	src := make([]pair, n)
+	rng := dist.Generate(dist.RandDup, n, 3)
+	for i := range src {
+		src[i] = pair{key: rng[i], seq: int32(i)}
+	}
+	keep := func(_ int, v pair) bool { return v.key%2 == 0 }
+	for _, np := range teamSizes(s) {
+		dst := make([]pair, n)
+		var cnt int
+		s.Run(par.Pack(np, src, dst, keep, &cnt))
+		for i := 1; i < cnt; i++ {
+			if dst[i].seq <= dst[i-1].seq {
+				t.Fatalf("np=%d: pack not stable at %d: seq %d after %d",
+					np, i, dst[i].seq, dst[i-1].seq)
+			}
+		}
+	}
+}
+
+// TestClaimer checks that the two-ended claimer hands out every block
+// exactly once, as a prefix from the left and a suffix from the right.
+func TestClaimer(t *testing.T) {
+	s := propSched(t)
+	const nb = 1000
+	c := par.NewClaimer(nb)
+	seen := make([]int32, nb) // written once each; verified after Run
+	np := s.MaxTeam()
+	s.Run(core.Func(np, func(ctx *core.Ctx) {
+		for {
+			l, okL := c.Left()
+			if okL {
+				seen[l]++
+			}
+			r, okR := c.Right()
+			if okR {
+				seen[r]++
+			}
+			if !okL && !okR {
+				return
+			}
+		}
+	}))
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d claimed %d times", b, n)
+		}
+	}
+	la, ra := c.TakenLeft(), c.TakenRight()
+	if la+ra != nb {
+		t.Fatalf("taken left %d + right %d != %d", la, ra, nb)
+	}
+}
+
+// TestCollectiveReuse drives one team task through many consecutive
+// collective phases on the same state objects — the reuse pattern
+// internal/ssort depends on.
+func TestCollectiveReuse(t *testing.T) {
+	s := propSched(t)
+	np := s.MaxTeam()
+	in := dist.Generate(dist.Random, 4096, 9)
+	add := func(a, b int64) int64 { return a + b }
+	r := par.NewReducer(np, add)
+	const rounds = 50
+	totals := make([]int64, rounds)
+	s.Run(core.Func(np, func(ctx *core.Ctx) {
+		lo, hi := par.Chunk(ctx.LocalID(), ctx.TeamSize(), len(in))
+		for round := 0; round < rounds; round++ {
+			partial := int64(round)
+			for i := lo; i < hi; i++ {
+				partial += int64(in[i])
+			}
+			total := r.Reduce(ctx, partial)
+			if ctx.LocalID() == 0 {
+				totals[round] = total
+			}
+		}
+	}))
+	base := par.SeqReduce(len(in), 0, func(i int) int64 { return int64(in[i]) }, add)
+	for round, got := range totals {
+		want := base + int64(round)*int64(np)
+		if got != want {
+			t.Fatalf("round %d: total = %d, want %d", round, got, want)
+		}
+	}
+}
+
+func checkSlice[T comparable](t *testing.T, what string, np int, got, want []T) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("np=%d: %s length %d, want %d", np, what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("np=%d: %s differs at %d: %v != %v", np, what, i, got[i], want[i])
+		}
+	}
+}

@@ -30,6 +30,21 @@ func ForkJoinCore[T Ordered](s *core.Scheduler, data []T, cutoff int) {
 	s.Run(core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) }))
 }
 
+// ForkCtx runs the task-parallel quicksort of Algorithm 10 from inside a
+// running task on the team-building scheduler: each partitioning step spawns
+// the left subsequence on ctx and continues on the right inline. It returns
+// once the caller's own share is sorted; the spawned subtasks complete
+// independently, so callers needing the whole range sorted must wait for
+// scheduler quiescence (as Scheduler.Run does). This is how mixed-mode
+// algorithms (internal/ssort, the mixed-mode quicksort's fallback) hand
+// subsequences to the task-parallel sorter without blocking a worker.
+func ForkCtx[T Ordered](ctx *core.Ctx, data []T, cutoff int) {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	forkCore(ctx, data, cutoff)
+}
+
 func forkCore[T Ordered](ctx *core.Ctx, data []T, cutoff int) {
 	for len(data) > cutoff {
 		s := HoarePartition(data)

@@ -1,9 +1,8 @@
 package qsort
 
 import (
-	"sync/atomic"
-
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/teamsync"
 )
 
@@ -132,21 +131,20 @@ func (t *mmTask[T]) spawnFork(ctx *core.Ctx, part []T) {
 // parState is the shared state of one data-parallel partitioning step.
 // The array is divided into nb full blocks of blockSize elements plus a
 // trailing partial block handled by the sequential cleanup. Team threads
-// acquire fresh blocks from the two ends and neutralize pairs of blocks;
-// the cleanup (thread 0) pairs leftover blocks, compacts the at most
-// np unfinished blocks per side next to the middle with whole-block content
-// swaps, and finishes with a sequential partition of the remaining middle.
+// acquire fresh blocks from the two ends (the par.Claimer end-pointer
+// acquisition) and neutralize pairs of blocks; the cleanup (thread 0)
+// pairs leftover blocks, compacts the at most np unfinished blocks per
+// side next to the middle with whole-block content swaps, and finishes
+// with a sequential partition of the remaining middle.
 type parState[T Ordered] struct {
 	data  []T
 	pv    T
 	block int
 	nb    int
 
-	remaining atomic.Int64 // blocks not yet acquired
-	left      atomic.Int64 // blocks taken from the left end
-	right     atomic.Int64 // blocks taken from the right end
-	neutral   []bool       // per block; owner-written, read after fan-in
-	fanin     *teamsync.Counter
+	claim   *par.Claimer // two-ended block acquisition
+	neutral []bool       // per block; owner-written, read after fan-in
+	fanin   *teamsync.Counter
 }
 
 func newParState[T Ordered](data []T, np, blockSize int) *parState[T] {
@@ -158,7 +156,7 @@ func newParState[T Ordered](data []T, np, blockSize int) *parState[T] {
 		nb:    n / blockSize,
 		fanin: teamsync.NewCounter(np),
 	}
-	ps.remaining.Store(int64(ps.nb))
+	ps.claim = par.NewClaimer(ps.nb)
 	ps.neutral = make([]bool, ps.nb)
 	return ps
 }
@@ -174,16 +172,13 @@ func (ps *parState[T]) phase1() {
 	var L, R *blockScan
 	acquireL := func() {
 		L = nil
-		if ps.remaining.Add(-1) >= 0 {
-			i := int(ps.left.Add(1)) - 1
+		if i, ok := ps.claim.Left(); ok {
 			L = &blockScan{lo: i * B, hi: (i + 1) * B, pos: i * B}
 		}
 	}
 	acquireR := func() {
 		R = nil
-		if ps.remaining.Add(-1) >= 0 {
-			k := int(ps.right.Add(1)) - 1
-			i := ps.nb - 1 - k
+		if i, ok := ps.claim.Right(); ok {
 			R = &blockScan{lo: i * B, hi: (i + 1) * B, pos: i * B}
 		}
 	}
@@ -211,8 +206,8 @@ func (ps *parState[T]) phase1() {
 func (ps *parState[T]) cleanup() int {
 	data, pv, B, nb := ps.data, ps.pv, ps.block, ps.nb
 	n := len(data)
-	la := int(ps.left.Load())
-	ra := int(ps.right.Load())
+	la := ps.claim.TakenLeft()
+	ra := ps.claim.TakenRight()
 
 	// Phase 2: pair unfinished left blocks with unfinished right blocks,
 	// continuing neutralization sequentially (the paper replaces [18]'s

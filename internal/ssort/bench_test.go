@@ -1,0 +1,58 @@
+package ssort_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/qsort"
+	"repro/internal/ssort"
+)
+
+// Samplesort-vs-quicksort benchmarks per input distribution (the
+// BENCH_sort.json trajectory emitted by scripts/bench.sh): BenchmarkSSort
+// and BenchmarkMMQsort run the two mixed-mode algorithms on identical
+// 1M-element inputs of every registered distribution.
+
+const benchN = 1 << 20
+
+func benchInputs() map[dist.Kind][]int32 {
+	ins := make(map[dist.Kind][]int32, len(dist.Kinds))
+	for _, k := range dist.Kinds {
+		ins[k] = dist.Generate(k, benchN, 42)
+	}
+	return ins
+}
+
+func benchPerKind(b *testing.B, sortFn func(s *core.Scheduler, data []int32)) {
+	s := core.New(core.Options{P: 0})
+	b.Cleanup(s.Shutdown)
+	ins := benchInputs()
+	buf := make([]int32, benchN)
+	for _, k := range dist.Kinds {
+		in := ins[k]
+		b.Run(k.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(4 * benchN)
+			for i := 0; i < b.N; i++ {
+				copy(buf, in)
+				sortFn(s, buf)
+			}
+			if !qsort.IsSorted(buf) {
+				b.Fatal("output not sorted")
+			}
+		})
+	}
+}
+
+func BenchmarkSSort(b *testing.B) {
+	benchPerKind(b, func(s *core.Scheduler, data []int32) {
+		ssort.Sort(s, data, ssort.Options{})
+	})
+}
+
+func BenchmarkMMQsort(b *testing.B) {
+	benchPerKind(b, func(s *core.Scheduler, data []int32) {
+		qsort.MixedMode(s, data, qsort.MMOptions{})
+	})
+}

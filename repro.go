@@ -30,6 +30,7 @@ import (
 	"repro/internal/dist/distpar"
 	"repro/internal/msort"
 	"repro/internal/qsort"
+	"repro/internal/ssort"
 	"repro/internal/stats"
 )
 
@@ -99,6 +100,19 @@ func SortForkJoin[T Ordered](s *Scheduler, data []T) {
 // SortSequential sorts data with the repository's introsort (the stand-in
 // for std::sort used as the paper's sequential baseline).
 func SortSequential[T Ordered](data []T) { qsort.Introsort(data) }
+
+// SSOptions are the tunables of the mixed-mode parallel samplesort.
+type SSOptions = ssort.Options
+
+// SortSamplesort sorts data with a mixed-mode parallel samplesort built
+// from the team-parallel primitives of internal/par: a worker team samples
+// splitters, histograms and scatters its range into buckets, and the
+// buckets are sorted by recursively spawned tasks — a structurally
+// different mixed-mode algorithm beside the paper's Quicksort. Allocates
+// one scratch buffer of len(data).
+func SortSamplesort[T Ordered](s *Scheduler, data []T, opt SSOptions) {
+	ssort.Sort(s, data, opt)
+}
 
 // MSOptions are the tunables of the mixed-mode parallel merge sort.
 type MSOptions = msort.Options

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# Benchmark trajectory: runs the team-parallel primitive benchmarks and the
+# samplesort-vs-quicksort benchmarks and emits machine-readable JSON
+# (`go test -bench -json` post-processed by scripts/benchjson).
+#
+#   BENCH_par.json   primitive throughput (Reduce/Scan/Pack/Histogram/MinMax/Map)
+#   BENCH_sort.json  mixed-mode quicksort vs samplesort per distribution
+#
+# Environment:
+#   BENCHTIME  per-benchmark time or count (default 1s; bench-smoke uses 1x)
+#   OUTDIR     output directory for the JSON files (default repo root)
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-1s}
+OUTDIR=${OUTDIR:-.}
+
+echo "bench: primitives (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_par.json"
+go test -run '^$' -bench '^Benchmark(Reduce|ScanInclusive|ScanExclusive|Pack|Histogram|MinMax|Map)$' \
+  -benchtime "${BENCHTIME}" -json ./internal/par |
+  go run ./scripts/benchjson > "${OUTDIR}/BENCH_par.json"
+
+echo "bench: sorts (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_sort.json"
+go test -run '^$' -bench '^Benchmark(SSort|MMQsort)$' \
+  -benchtime "${BENCHTIME}" -json ./internal/ssort |
+  go run ./scripts/benchjson > "${OUTDIR}/BENCH_sort.json"
+
+echo "bench: PASS"

@@ -1,0 +1,103 @@
+// Command benchjson converts a `go test -bench -json` (test2json) event
+// stream on stdin into a JSON array of benchmark results on stdout — the
+// post-processing step of scripts/bench.sh that emits the BENCH_*.json
+// trajectory files.
+//
+// test2json may split one console line of benchmark output across several
+// Output events (the name is printed before the measurement), so the
+// events are concatenated per package before the result lines are parsed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json record we consume.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark measurement.
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// resultLine matches "BenchmarkName-8   100   12345 ns/op   extra unit ...".
+var resultLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches trailing "value unit" pairs after ns/op.
+var metricPair = regexp.MustCompile(`([0-9.]+) ([^\s]+)`)
+
+func main() {
+	outputs := map[string]*strings.Builder{} // per package
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	order := []string{}
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (plain `go test` output)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := outputs[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	results := []result{}
+	for _, pkg := range order {
+		for _, line := range strings.Split(outputs[pkg].String(), "\n") {
+			m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			r := result{Name: m[1], Package: pkg}
+			if m[2] != "" {
+				r.Procs, _ = strconv.Atoi(m[2])
+			}
+			r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			for _, mm := range metricPair.FindAllStringSubmatch(m[5], -1) {
+				v, err := strconv.ParseFloat(mm[1], 64)
+				if err != nil {
+					continue
+				}
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[mm[2]] = v
+			}
+			results = append(results, r)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -22,7 +22,10 @@ go vet ./...
 echo "check: go test ./..."
 go test ./...
 
-echo "check: go test -race ./internal/core ./internal/dist ./internal/dist/distpar"
-go test -race ./internal/core ./internal/dist ./internal/dist/distpar
+echo "check: go test -race ./internal/core ./internal/dist ./internal/dist/distpar ./internal/par ./internal/ssort"
+go test -race ./internal/core ./internal/dist ./internal/dist/distpar ./internal/par ./internal/ssort
+
+echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
+BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh
 
 echo "check: PASS"

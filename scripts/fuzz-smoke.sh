@@ -16,7 +16,9 @@ failures=0
 fuzzRegex='^func[[:space:]]+Fuzz[A-Za-z0-9_]+'
 missing=()
 
-for dir in internal/dist; do
+fuzzDirs=(internal/dist internal/par)
+
+for dir in "${fuzzDirs[@]}"; do
   if ! grep -rEn --include='*_test.go' "${fuzzRegex}" "${dir}" >/dev/null 2>&1; then
     missing+=("${dir}")
   fi
@@ -31,9 +33,11 @@ fi
 echo "fuzz-smoke: running bounded fuzz pass (${FUZZTIME} per target)"
 
 # The go toolchain fuzzes one target per invocation; enumerate them.
-for t in $(go test -list 'Fuzz.*' ./internal/dist | grep -E '^Fuzz'); do
-  echo "fuzz-smoke: ${t}"
-  go test ./internal/dist -run '^$' -fuzz "^${t}\$" -fuzztime="${FUZZTIME}" || failures=$((failures + 1))
+for dir in "${fuzzDirs[@]}"; do
+  for t in $(go test -list 'Fuzz.*' "./${dir}" | grep -E '^Fuzz'); do
+    echo "fuzz-smoke: ${dir}/${t}"
+    go test "./${dir}" -run '^$' -fuzz "^${t}\$" -fuzztime="${FUZZTIME}" || failures=$((failures + 1))
+  done
 done
 
 if [[ "${failures}" -ne 0 ]]; then
