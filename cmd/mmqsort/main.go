@@ -35,7 +35,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 10_000_000, "number of 4-byte integers to sort")
 		distStr = flag.String("dist", "random", "distribution: "+strings.Join(names, "|"))
-		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|ssort|msort|all (all excludes msort)")
+		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|ssort|msort|all")
 		p       = flag.Int("p", 0, "workers (default NumCPU)")
 		seed    = flag.Uint64("seed", 42, "input seed")
 		reps    = flag.Int("reps", 1, "repetitions")
@@ -56,7 +56,7 @@ func main() {
 
 	algos := []string{*algo}
 	if *algo == "all" {
-		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar", "ssort"}
+		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar", "ssort", "msort"}
 	}
 	for _, a := range algos {
 		var best, total time.Duration
@@ -134,8 +134,11 @@ func main() {
 				s.Shutdown()
 			case "msort":
 				s := core.New(core.Options{P: *p, Seed: *seed})
+				// The merge quota mirrors the other mixed-mode algorithms, as
+				// in the harness MSort column.
+				opt := msort.Options{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
 				start := time.Now()
-				msort.Sort(s, buf, msort.Options{Cutoff: *cutoff})
+				msort.Sort(s, buf, opt)
 				el = time.Since(start)
 				if *stats {
 					schedStats = s.Stats().String()

@@ -1,0 +1,350 @@
+// Command throughput measures multi-client sorting throughput on ONE
+// shared scheduler: C client goroutines issue sort requests drawn from a
+// size × distribution × algorithm mix against a single repro.Runtime, and
+// the per-group quiescence of the scheduler lets all requests proceed
+// concurrently. It reports requests/second and latency percentiles
+// (internal/stats.Sample) as JSON on stdout — the BENCH_throughput.json
+// trajectory emitted by scripts/bench.sh — plus a human summary on stderr.
+//
+// Usage:
+//
+//	throughput -clients 8 -duration 3s
+//	throughput -clients 16 -sizes 65536,1048576 -dists random,staggered -algos mmpar,ssort
+//	throughput -p 8 -duration 1s -algos mmpar -sizes 4194304
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/dist/distpar"
+	"repro/internal/harness"
+	"repro/internal/qsort"
+	"repro/internal/stats"
+)
+
+// request is one cell of the workload mix.
+type request struct {
+	size int
+	kind dist.Kind
+	alg  harness.Algorithm
+	in   []int32 // pre-generated input, copied per request
+}
+
+// clientResult is one client's recorded latencies, per algorithm and
+// overall.
+type clientResult struct {
+	overall  stats.Sample
+	perAlgo  map[harness.Algorithm]*stats.Sample
+	requests int64
+	failures int64
+}
+
+func main() {
+	var (
+		p        = flag.Int("p", 0, "workers of the shared scheduler (default NumCPU)")
+		clients  = flag.Int("clients", 8, "concurrent client goroutines")
+		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
+		sizesStr = flag.String("sizes", "65536,262144,1048576", "request sizes (elements), comma-separated")
+		distsStr = flag.String("dists", "random,gauss,staggered", "input distributions, comma-separated")
+		algosStr = flag.String("algos", "mmpar,fork,ssort,msort", "algorithms, comma-separated (seqstl|fork|mmpar|ssort|msort)")
+		seed     = flag.Uint64("seed", 42, "input generator seed")
+		cutoff   = flag.Int("cutoff", qsort.DefaultCutoff, "sequential cutoff")
+		block    = flag.Int("block", qsort.DefaultBlockSize, "partition block size (mmpar; also sets the team quota)")
+		minBlk   = flag.Int("minblocks", qsort.DefaultMinBlocksPerThread, "min blocks per partitioning thread")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		fatal(err)
+	}
+	kinds, err := parseDists(*distsStr)
+	if err != nil {
+		fatal(err)
+	}
+	algos, err := parseAlgos(*algosStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	rt := repro.NewRuntime[int32](repro.Options{P: *p, Seed: *seed})
+	defer rt.Close()
+
+	// Tunables mirror the harness columns: one team quota (block·minblocks)
+	// across all three mixed-mode algorithms.
+	mmOpt := repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk}
+	ssOpt := repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
+	msOpt := repro.MSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
+
+	// Pre-generate every (distribution, size) input once, team-parallel on
+	// the shared scheduler; requests copy from this pool so generation cost
+	// never pollutes the latencies.
+	var reqs []request
+	for _, k := range kinds {
+		for _, n := range sizes {
+			in := distpar.Generate(rt.Scheduler(), k, n, *seed+uint64(n))
+			for _, a := range algos {
+				reqs = append(reqs, request{size: n, kind: k, alg: a, in: in})
+			}
+		}
+	}
+
+	maxSize := 0
+	for _, n := range sizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	results := make([]clientResult, *clients)
+	var inflightPeak atomic.Int64
+	var inflightNow atomic.Int64
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			res.perAlgo = map[harness.Algorithm]*stats.Sample{}
+			rng := dist.NewRNG(*seed).Split() // per-client request stream
+			rng.Skip(uint64(c) << 32)
+			buf := make([]int32, maxSize)
+			for time.Now().Before(deadline) {
+				req := reqs[rng.Intn(len(reqs))]
+				d := buf[:req.size]
+				copy(d, req.in)
+				cur := inflightNow.Add(1)
+				for {
+					p := inflightPeak.Load()
+					if cur <= p || inflightPeak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				t0 := time.Now()
+				sortWith(rt, req.alg, d, mmOpt, ssOpt, msOpt)
+				el := time.Since(t0)
+				inflightNow.Add(-1)
+				res.overall.AddDuration(el)
+				s := res.perAlgo[req.alg]
+				if s == nil {
+					s = &stats.Sample{}
+					res.perAlgo[req.alg] = s
+				}
+				s.AddDuration(el)
+				res.requests++
+				if !qsort.IsSorted(d) {
+					res.failures++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Fold the per-client samples.
+	var overall stats.Sample
+	perAlgo := map[harness.Algorithm]*stats.Sample{}
+	var requests, failures int64
+	for i := range results {
+		res := &results[i]
+		overall.Merge(&res.overall)
+		for a, s := range res.perAlgo {
+			t := perAlgo[a]
+			if t == nil {
+				t = &stats.Sample{}
+				perAlgo[a] = t
+			}
+			t.Merge(s)
+		}
+		requests += res.requests
+		failures += res.failures
+	}
+
+	rep := report{
+		Config: configJSON{
+			P:          rt.P(),
+			Clients:    *clients,
+			Sizes:      sizes,
+			Dists:      kindNames(kinds),
+			Algos:      algoNames(algos),
+			Seed:       *seed,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+		Requests:       requests,
+		Failures:       failures,
+		RequestsPerSec: float64(requests) / elapsed.Seconds(),
+		PeakInflight:   inflightPeak.Load(),
+		Latency:        latencyOf(&overall),
+	}
+	for _, a := range algos {
+		if s := perAlgo[a]; s != nil {
+			rep.PerAlgorithm = append(rep.PerAlgorithm, algoReport{
+				Algorithm: a.String(),
+				Requests:  int64(s.N()),
+				Latency:   latencyOf(s),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"throughput: p=%d clients=%d elapsed=%.2fs requests=%d (%.1f req/s) p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
+		rep.Config.P, *clients, rep.ElapsedSeconds, requests, rep.RequestsPerSec,
+		rep.Latency.P50*1e3, rep.Latency.P90*1e3, rep.Latency.P99*1e3, rep.Latency.Max*1e3)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "throughput: %d OUTPUTS NOT SORTED\n", failures)
+		os.Exit(1)
+	}
+	if requests == 0 {
+		fmt.Fprintln(os.Stderr, "throughput: no requests completed (duration too short?)")
+		os.Exit(1)
+	}
+}
+
+// sortWith dispatches one request on the shared runtime.
+func sortWith(rt *repro.Runtime[int32], alg harness.Algorithm, d []int32,
+	mm repro.MMOptions, ss repro.SSOptions, ms repro.MSOptions) {
+	switch alg {
+	case harness.SeqSTL:
+		repro.SortSequential(d)
+	case harness.Fork:
+		rt.SortForkJoin(d)
+	case harness.MMPar:
+		rt.SortMixedMode(d, mm)
+	case harness.SSort:
+		rt.SortSamplesort(d, ss)
+	case harness.MSort:
+		rt.SortMergeMixedMode(d, ms)
+	}
+}
+
+type configJSON struct {
+	P          int      `json:"p"`
+	Clients    int      `json:"clients"`
+	Sizes      []int    `json:"sizes"`
+	Dists      []string `json:"dists"`
+	Algos      []string `json:"algos"`
+	Seed       uint64   `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+}
+
+type latencyJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean_seconds"`
+	P50  float64 `json:"p50_seconds"`
+	P90  float64 `json:"p90_seconds"`
+	P99  float64 `json:"p99_seconds"`
+	Max  float64 `json:"max_seconds"`
+}
+
+type algoReport struct {
+	Algorithm string      `json:"algorithm"`
+	Requests  int64       `json:"requests"`
+	Latency   latencyJSON `json:"latency"`
+}
+
+type report struct {
+	Config         configJSON   `json:"config"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Requests       int64        `json:"requests"`
+	Failures       int64        `json:"failures"`
+	RequestsPerSec float64      `json:"requests_per_second"`
+	PeakInflight   int64        `json:"peak_inflight_requests"`
+	Latency        latencyJSON  `json:"latency"`
+	PerAlgorithm   []algoReport `json:"per_algorithm"`
+}
+
+func latencyOf(s *stats.Sample) latencyJSON {
+	return latencyJSON{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P90:  s.Percentile(90),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
+func parseSizes(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseDists(csv string) ([]dist.Kind, error) {
+	var out []dist.Kind
+	for _, f := range strings.Split(csv, ",") {
+		k, err := dist.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// parseAlgos accepts the harness column names restricted to algorithms that
+// run on the shared core scheduler (plus the sequential baseline).
+func parseAlgos(csv string) ([]harness.Algorithm, error) {
+	shared := map[harness.Algorithm]bool{
+		harness.SeqSTL: true, harness.Fork: true, harness.MMPar: true,
+		harness.SSort: true, harness.MSort: true,
+	}
+	var out []harness.Algorithm
+	for _, f := range strings.Split(csv, ",") {
+		a, err := harness.ParseAlgorithm(f)
+		if err != nil {
+			return nil, err
+		}
+		if !shared[a] {
+			return nil, fmt.Errorf("algorithm %v does not run on the shared scheduler (want seqstl|fork|mmpar|ssort|msort)", a)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func kindNames(ks []dist.Kind) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.String()
+	}
+	return out
+}
+
+func algoNames(as []harness.Algorithm) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

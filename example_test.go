@@ -3,6 +3,7 @@ package repro_test
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro"
@@ -67,6 +68,55 @@ func ExampleSortMixedMode() {
 	repro.SortMixedMode(s, data, repro.MMOptions{})
 	fmt.Println(sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }))
 	// Output: true
+}
+
+// ExampleNewRuntime serves concurrent sort requests from several client
+// goroutines on one shared scheduler: every call runs as its own
+// quiescence group, so the clients do not wait on each other's tasks.
+func ExampleNewRuntime() {
+	rt := repro.NewRuntime[int32](repro.Options{P: 4})
+	defer rt.Close()
+
+	const clients = 4
+	sorted := make([]bool, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := repro.GenerateInputParallel(rt.Scheduler(), repro.Random, 200_000, uint64(c))
+			rt.SortMixedMode(data, repro.MMOptions{BlockSize: 512, MinBlocksPerThread: 8})
+			sorted[c] = sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] })
+		}(c)
+	}
+	wg.Wait()
+	fmt.Println(sorted)
+	// Output: [true true true true]
+}
+
+// ExampleGroup joins several computations spawned into one group with a
+// single Wait, while the scheduler stays free to serve other groups.
+func ExampleGroup() {
+	s := repro.NewScheduler(repro.Options{P: 4})
+	defer s.Shutdown()
+
+	var evens, odds atomic.Int64
+	g := s.NewGroup()
+	g.Spawn(repro.Solo(func(ctx *repro.Ctx) {
+		for i := 0; i <= 10; i += 2 {
+			i := i
+			ctx.Spawn(repro.Solo(func(*repro.Ctx) { evens.Add(int64(i)) }))
+		}
+	}))
+	g.Spawn(repro.Solo(func(ctx *repro.Ctx) {
+		for i := 1; i <= 9; i += 2 {
+			i := i
+			ctx.Spawn(repro.Solo(func(*repro.Ctx) { odds.Add(int64(i)) }))
+		}
+	}))
+	g.Wait() // joins both spawn trees, and only them
+	fmt.Println(evens.Load(), odds.Load())
+	// Output: 30 25
 }
 
 // ExampleCtx_LocalID computes each team member's slice of a shared array —

@@ -210,6 +210,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 	}
 	exec := &teamExec{
 		task:     n.task,
+		group:    n.group,
 		teamSize: target,
 		width:    n.r,
 		coordID:  w.id,
@@ -236,7 +237,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 	w.cur.Store(nil)
 	w.ev(evExecDone, w.id, target, int(exec.gen))
 	w.bo.Reset()
-	s.taskDone()
+	s.taskDone(n.group)
 	if s.opts.DisableTeamReuse {
 		w.dropCoordination(w.regw.Load())
 	}

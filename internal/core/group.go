@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/backoff"
+)
+
+// Group is a set of tasks with its own quiescence: Wait returns when every
+// task spawned into the group — including all descendants spawned by those
+// tasks via Ctx.Spawn, which inherit the group — has completed, regardless
+// of what other groups on the same scheduler are doing. Groups are what let
+// one scheduler serve many independent clients concurrently: with the
+// paper's r = 1 tasks the scheduler behaves like ordinary work-stealing, so
+// a group is the mixed-mode analogue of one client's fork-join computation,
+// and two clients' groups drain independently instead of waiting on the
+// scheduler's global task count.
+//
+// A Group is not the same thing as a TaskGroup: a TaskGroup is an
+// in-task fork/join helper whose Wait runs on a worker and helps execute
+// single-threaded children; a Group is an external-facing quiescence domain
+// that may contain team tasks of any width, and its Wait (called from
+// outside the scheduler's workers) backs off rather than helping.
+//
+// Groups are cheap (one counter) and single-use or reusable at the caller's
+// choice: after Wait returns, more tasks may be spawned into the same group
+// and waited for again. Methods are safe for concurrent use.
+type Group struct {
+	s        *Scheduler
+	inflight atomic.Int64
+}
+
+// NewGroup returns a fresh, empty task group on s.
+func (s *Scheduler) NewGroup() *Group { return &Group{s: s} }
+
+// Scheduler returns the scheduler the group spawns into.
+func (g *Group) Scheduler() *Scheduler { return g.s }
+
+// Spawn submits t from outside the scheduler as part of the group. Tasks
+// that t spawns via Ctx.Spawn while running join the same group
+// automatically. It is safe for concurrent use. Do not call it from inside
+// a running task of the same scheduler for the common case — Ctx.Spawn is
+// cheaper and preserves depth-first order — but it is safe there too (the
+// task is injected like an external submission).
+func (g *Group) Spawn(t Task) {
+	n := g.s.newNode(t, g)
+	g.s.injectNodes(n)
+}
+
+// SpawnBatch submits several tasks under a single injection-lock acquisition
+// — the batched form of Spawn for clients enqueueing many requests at once.
+// The whole batch is validated before any task is accounted, so a panic on
+// an invalid task (like Spawn's) leaves no inflight count behind.
+func (g *Group) SpawnBatch(ts []Task) {
+	if len(ts) == 0 {
+		return
+	}
+	ns := make([]*node, len(ts))
+	for i, t := range ts {
+		ns[i] = g.s.makeNode(t, g)
+	}
+	for _, n := range ns {
+		g.s.account(n)
+	}
+	g.s.injectNodes(ns...)
+}
+
+// Wait blocks until the group is quiescent: every task spawned into it (and
+// every descendant those tasks spawned) has completed. Other groups' tasks
+// do not delay Wait. Like Scheduler.Wait it must not be called from inside
+// a running task (a worker blocking on external quiescence could deadlock
+// the team protocol); use TaskGroup for in-task joins. If the scheduler is
+// shut down while the group still has tasks, Wait returns early — the
+// tasks are abandoned (see Scheduler.Shutdown) and would never drain.
+func (g *Group) Wait() {
+	var bo backoff.Backoff
+	for g.inflight.Load() > 0 {
+		if g.s.done.Load() {
+			return // shutdown: abandoned tasks never complete
+		}
+		bo.Wait()
+	}
+}
+
+// Run submits t into the group and waits for the group's quiescence. On a
+// fresh group this is exactly the old global Scheduler.Run semantics scoped
+// to t's own task tree.
+func (g *Group) Run(t Task) {
+	g.Spawn(t)
+	g.Wait()
+}
+
+// Pending returns the group's current in-flight task count (racy; for tests
+// and diagnostics).
+func (g *Group) Pending() int64 { return g.inflight.Load() }

@@ -98,29 +98,36 @@ func (s *Scheduler) P() int { return s.topo.P }
 // blocks that fit inside the worker id space).
 func (s *Scheduler) MaxTeam() int { return s.topo.MaxTeam }
 
-// Spawn submits a task from outside the scheduler. It is safe for concurrent
-// use. Inside a running task, use Ctx.Spawn instead (it is cheaper and
-// preserves depth-first order).
+// Spawn submits a task from outside the scheduler, belonging to no group.
+// It is safe for concurrent use. Inside a running task, use Ctx.Spawn
+// instead (it is cheaper and preserves depth-first order); to give the task
+// its own quiescence domain, spawn through a Group instead.
 func (s *Scheduler) Spawn(t Task) {
-	n := s.newNode(t)
-	s.inflight.Add(1)
-	s.injectMu.Lock()
-	s.inject = append(s.inject, n)
-	s.injectMu.Unlock()
+	s.injectNodes(s.newNode(t, nil))
 }
 
-// Wait blocks until all spawned tasks (and their descendants) have completed.
+// Wait blocks until all spawned tasks (and their descendants) have
+// completed — global quiescence across every group. Per-client callers
+// should prefer Group.Wait, which is not delayed by other clients' tasks.
+// If the scheduler is shut down while tasks are outstanding, Wait returns
+// early — the tasks are abandoned (see Shutdown) and would never drain.
 func (s *Scheduler) Wait() {
 	var bo backoff.Backoff
 	for s.inflight.Load() > 0 {
+		if s.done.Load() {
+			return // shutdown: abandoned tasks never complete
+		}
 		bo.Wait()
 	}
 }
 
-// Run submits t and waits for quiescence.
+// Run submits t as a one-shot group and waits for that group's quiescence:
+// it returns when t and all its descendants have completed. For a single
+// client this is indistinguishable from waiting for global quiescence; with
+// several concurrent clients on one scheduler, each Run waits only for its
+// own task tree.
 func (s *Scheduler) Run(t Task) {
-	s.Spawn(t)
-	s.Wait()
+	s.NewGroup().Run(t)
 }
 
 // Shutdown stops all workers. Outstanding tasks are abandoned; call Wait
@@ -153,7 +160,11 @@ func (s *Scheduler) WorkerStats() []stats.Snapshot {
 // and diagnostics).
 func (s *Scheduler) Pending() int64 { return s.inflight.Load() }
 
-func (s *Scheduler) newNode(t Task) *node {
+// makeNode validates t's thread requirement and wraps it for the queues,
+// without accounting it in-flight. It panics on an invalid requirement —
+// before any accounting, so a panicking spawn never leaks an inflight
+// count.
+func (s *Scheduler) makeNode(t Task, g *Group) *node {
 	r := t.Threads()
 	if r < 1 {
 		panic(fmt.Sprintf("core: task thread requirement %d < 1", r))
@@ -162,11 +173,46 @@ func (s *Scheduler) newNode(t Task) *node {
 		panic(fmt.Sprintf("core: task requires %d threads; scheduler supports at most %d (p = %d)",
 			r, s.topo.MaxTeam, s.topo.P))
 	}
-	return &node{task: t, r: r}
+	return &node{task: t, r: r, group: g}
 }
 
-// taskDone marks one task as completed.
-func (s *Scheduler) taskDone() { s.inflight.Add(-1) }
+// account raises the in-flight counts for n, globally and in its group
+// (nil for group-less tasks). The counts are raised before the node
+// becomes runnable anywhere, so neither Wait can observe a transient zero
+// while the task tree is still growing.
+func (s *Scheduler) account(n *node) {
+	s.inflight.Add(1)
+	if n.group != nil {
+		n.group.inflight.Add(1)
+	}
+}
+
+// newNode is makeNode + account: the single-task spawn path.
+func (s *Scheduler) newNode(t Task, g *Group) *node {
+	n := s.makeNode(t, g)
+	s.account(n)
+	return n
+}
+
+// injectNodes appends externally submitted nodes to the inject list.
+func (s *Scheduler) injectNodes(ns ...*node) {
+	s.injectMu.Lock()
+	s.inject = append(s.inject, ns...)
+	s.injectMu.Unlock()
+}
+
+// taskDone marks one task of group g (nil for group-less tasks) as
+// completed. A task's children are accounted before its own completion is
+// reported, so a group count of zero really means quiescence. The global
+// counter is decremented first: a client returning from Group.Wait (the
+// group count hitting zero) must never observe its own finished tasks
+// still in Scheduler.Pending.
+func (s *Scheduler) taskDone(g *Group) {
+	s.inflight.Add(-1)
+	if g != nil {
+		g.inflight.Add(-1)
+	}
+}
 
 // nextGen returns a scheduler-unique generation number for team executions.
 func (s *Scheduler) nextGen() uint64 { return s.gen.Add(1) }

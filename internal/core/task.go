@@ -42,10 +42,12 @@ type Task interface {
 	Run(ctx *Ctx)
 }
 
-// node is the queue entry wrapping a task; r caches Threads().
+// node is the queue entry wrapping a task; r caches Threads(); group is the
+// quiescence group the task was spawned into (nil for group-less tasks).
 type node struct {
-	task Task
-	r    int
+	task  Task
+	r     int
+	group *Group
 }
 
 // funcTask adapts a function to the Task interface.
@@ -74,12 +76,21 @@ type Ctx struct {
 	w       *worker
 	exec    *teamExec // nil for r = 1 executions
 	localID int
+	group   *Group // quiescence group of the running task (nil for group-less)
 }
 
 // Spawn pushes t onto the executing worker's local queue for the level
-// matching t.Threads() (Refinement 1). It panics if the requirement exceeds
-// Scheduler.MaxTeam().
-func (c *Ctx) Spawn(t Task) { c.w.spawn(t) }
+// matching t.Threads() (Refinement 1). The spawned task joins the running
+// task's group (see Group), so a group's Wait covers the whole descendant
+// tree. It panics if the requirement exceeds Scheduler.MaxTeam().
+func (c *Ctx) Spawn(t Task) { c.w.spawn(t, c.group) }
+
+// Group returns the quiescence group the running task belongs to, or nil
+// for tasks spawned outside any group (Scheduler.Spawn). Tasks spawned via
+// Ctx.Spawn inherit it automatically; it is exposed so a task can hand its
+// group to helpers that spawn on the task's behalf (the Group forms of the
+// sorting packages).
+func (c *Ctx) Group() *Group { return c.group }
 
 // LocalID returns this worker's id within the task's team, 0 … TeamSize()−1.
 // It is 0 for single-threaded tasks.

@@ -18,7 +18,7 @@ func stopped(p int) *Scheduler {
 	return build(Options{P: p})
 }
 
-func (w *worker) push(t Task) { w.pushNode(w.sched.newNode(t)) } // test helper
+func (w *worker) push(t Task) { w.pushNode(w.sched.newNode(t, nil)) } // test helper
 
 func TestWBInitialState(t *testing.T) {
 	s := stopped(8)
@@ -259,7 +259,6 @@ func TestWBStealFromPartner(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		victim.push(Solo(func(*Ctx) {}))
 	}
-	s.inflight.Add(8)
 	if !thief.stealTasks() {
 		t.Fatal("steal failed")
 	}
@@ -281,7 +280,6 @@ func TestWBStealAmountGrowsWithLevel(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		victim.push(Solo(func(*Ctx) {}))
 	}
-	s.inflight.Add(32)
 	if !thief.stealTasks() {
 		t.Fatal("steal failed")
 	}
@@ -311,7 +309,6 @@ func TestWBSameTeamStealForbidden(t *testing.T) {
 	s := stopped(8)
 	victim, thief := s.workers[1], s.workers[0]
 	victim.push(Func(2, func(*Ctx) {})) // team {0,1} would contain the thief
-	s.inflight.Add(1)
 	if thief.stealTasks() {
 		// Only registration would be legitimate, but victim is not
 		// coordinating (Req=1 since push does not advertise).
@@ -326,7 +323,6 @@ func TestWBStealTeamTaskFromOutsideBlock(t *testing.T) {
 	s := stopped(8)
 	victim, thief := s.workers[0], s.workers[4] // different 4-blocks
 	victim.push(Func(4, func(*Ctx) {}))
-	s.inflight.Add(1)
 	if !thief.stealTasks() {
 		t.Fatal("outside thief must be able to steal the team task")
 	}
@@ -380,7 +376,6 @@ func TestWBPollHelpsDrainSmallTasks(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		busy.push(Solo(func(*Ctx) {}))
 	}
-	s.inflight.Add(6)
 	// The gathering coordinator helps the busy partner empty its queue.
 	coord.pollPartners(coord, 8)
 	if coord.st.TasksStolen.Load() == 0 {

@@ -19,8 +19,9 @@ import (
 // members pick up but do not run).
 type teamExec struct {
 	task     Task
-	teamSize int // power-of-two team size
-	width    int // actual thread requirement r ≤ teamSize
+	group    *Group // quiescence group of the task (nil for group-less)
+	teamSize int    // power-of-two team size
+	width    int    // actual thread requirement r ≤ teamSize
 	coordID  int
 	gen      uint64            // scheduler-unique generation
 	started  atomic.Int32      // countdown: teamSize−1 member pickups
@@ -99,11 +100,9 @@ func (w *worker) partnerAt(l int) *worker {
 	return s.workers[q]
 }
 
-// spawn pushes a new task onto the local queues (Ctx.Spawn).
-func (w *worker) spawn(t Task) {
-	n := w.sched.newNode(t)
-	w.sched.inflight.Add(1)
-	w.pushNode(n)
+// spawn pushes a new task of group g onto the local queues (Ctx.Spawn).
+func (w *worker) spawn(t Task, g *Group) {
+	w.pushNode(w.sched.newNode(t, g))
 }
 
 func (w *worker) pushNode(n *node) {
@@ -154,16 +153,16 @@ func (w *worker) idleWait() {
 // path; no registration traffic, matching the paper's "no extra overhead"
 // claim for r = 1).
 func (w *worker) runSolo(n *node) {
-	ctx := Ctx{w: w, localID: 0}
+	ctx := Ctx{w: w, localID: 0, group: n.group}
 	w.st.TasksRun.Add(1)
 	n.task.Run(&ctx)
-	w.sched.taskDone()
+	w.sched.taskDone(n.group)
 	w.bo.Reset()
 }
 
 // runTeamPart executes this worker's share of a team task.
 func (w *worker) runTeamPart(exec *teamExec, lid int) {
-	ctx := Ctx{w: w, exec: exec, localID: lid}
+	ctx := Ctx{w: w, exec: exec, localID: lid, group: exec.group}
 	w.st.TasksRun.Add(1)
 	w.st.TeamTasksRun.Add(1)
 	defer exec.done.Add(-1)

@@ -33,7 +33,8 @@ func Generate(s *core.Scheduler, k dist.Kind, n int, seed uint64) []int32 {
 // MinParallel (or a single-worker scheduler) are generated sequentially;
 // every generator is positional, so the output is bit-identical to
 // dist.GenerateP(k, n, seed, p) whichever path and chunk interleaving is
-// taken.
+// taken. The fill runs as its own one-shot task group, so concurrent
+// generations (and sorts) on a shared scheduler do not wait on each other.
 func GenerateP(s *core.Scheduler, k dist.Kind, n int, seed uint64, p int) []int32 {
 	if n < 0 {
 		n = 0
@@ -46,10 +47,30 @@ func GenerateP(s *core.Scheduler, k dist.Kind, n int, seed uint64, p int) []int3
 		return dist.GenerateP(k, n, seed, p)
 	}
 	vs := make([]int32, n)
-	s.Run(core.ForDynamic(np, n, core.DefaultChunk(np, n), func(_ *core.Ctx, lo, hi int) {
+	g := s.NewGroup()
+	FillGroup(g, k, vs, seed, p)
+	g.Wait()
+	return vs
+}
+
+// FillGroup spawns a team fill of vs with distribution k into the
+// caller-supplied group g and returns immediately; vs holds the first
+// len(vs) values of the distribution (bit-identical to dist.GenerateP(k,
+// len(vs), seed, p)) once g.Wait() observes the group's quiescence. Small
+// buffers are filled by a single solo task rather than a team.
+func FillGroup(g *core.Group, k dist.Kind, vs []int32, seed uint64, p int) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	np := g.Scheduler().MaxTeam()
+	if np < 2 || n < MinParallel {
+		g.Spawn(core.Solo(func(*core.Ctx) { dist.Fill(k, vs, 0, n, seed, p) }))
+		return
+	}
+	g.Spawn(core.ForDynamic(np, n, core.DefaultChunk(np, n), func(_ *core.Ctx, lo, hi int) {
 		dist.Fill(k, vs[lo:hi], lo, n, seed, p)
 	}))
-	return vs
 }
 
 // GenerateWithWorkers generates on a short-lived scheduler of the given

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// Golden end-to-end test for the paper-table rendering: TableConfig's
+// quick-mode grid plus Result.Table layout (column set, speedup columns,
+// row grouping, number formats) are pinned to an exact rendering so they
+// cannot silently regress. The cells are synthetic — timings are
+// deterministic by construction — so the golden string is exact.
+
+// goldenTimes are fixed per-algorithm cell times: avg seconds (best is
+// avg/2 so both aggregations render distinct values).
+var goldenTimes = map[Algorithm]float64{
+	SeqSTL: 1.6, SeqQS: 1.8, Fork: 0.4, Randfork: 0.44,
+	Cilk: 0.5, CilkSample: 0.52, MMPar: 0.2, SSort: 0.25, MSort: 0.32,
+}
+
+func goldenResult(t *testing.T) (*Result, Mode) {
+	t.Helper()
+	cfg, mode, err := TableConfig(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the quick-mode grid itself before rendering with it.
+	if cfg.P != 8 || !cfg.WithCilk || cfg.Reps != 3 {
+		t.Fatalf("TableConfig(1, quick): p=%d cilk=%v reps=%d", cfg.P, cfg.WithCilk, cfg.Reps)
+	}
+	if len(cfg.Sizes) != 3 || cfg.Sizes[0] != 1_000_000 ||
+		cfg.Sizes[1] != 10_000_000 || cfg.Sizes[2] != 1<<23-1 {
+		t.Fatalf("quick sizes = %v", cfg.Sizes)
+	}
+	cfg = cfg.withDefaults()
+	res := &Result{Cfg: cfg}
+	for _, kind := range []dist.Kind{dist.Random, dist.Staggered} {
+		for _, size := range cfg.Sizes[:2] {
+			row := Row{Kind: kind, Size: size}
+			for _, alg := range cfg.Algs {
+				avg := goldenTimes[alg]
+				row.Cells[alg] = Cell{Avg: avg, Best: avg / 2}
+				row.Ran[alg] = true
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, mode
+}
+
+const goldenAvgTable = `Table 1: Quicksort, 8-core Intel Nehalem (p=8) — average running times over 3 repetitions (p=8), seconds
+Type              Size   Seq/STL     SeqQS      Fork    SU  Randfork      Cilk    SU Cilk sample     MMPar    SU     SSort    SU     MSort    SU
+------------------------------------------------------------------------------------------------------------------------------------------------
+Random         1000000     1.600     1.800     0.400   4.0     0.440     0.500   3.2       0.520     0.200   8.0     0.250   6.4     0.320   5.0
+              10000000     1.600     1.800     0.400   4.0     0.440     0.500   3.2       0.520     0.200   8.0     0.250   6.4     0.320   5.0
+Staggered      1000000     1.600     1.800     0.400   4.0     0.440     0.500   3.2       0.520     0.200   8.0     0.250   6.4     0.320   5.0
+              10000000     1.600     1.800     0.400   4.0     0.440     0.500   3.2       0.520     0.200   8.0     0.250   6.4     0.320   5.0
+`
+
+func TestGoldenQuickModeTable(t *testing.T) {
+	res, mode := goldenResult(t)
+	if mode != Avg {
+		t.Fatalf("table 1 mode = %v, want average", mode)
+	}
+	got := res.Table(mode)
+	if got != goldenAvgTable {
+		t.Errorf("quick-mode table rendering changed.\ngot:\n%s\nwant:\n%s", got, goldenAvgTable)
+		gl, wl := strings.Split(got, "\n"), strings.Split(goldenAvgTable, "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first differing line %d:\ngot:  %q\nwant: %q", i, gl[i], wl[i])
+				break
+			}
+		}
+	}
+	// The best-mode rendering halves every time and doubles no speedup
+	// (both columns halve): spot-check rather than double the golden.
+	best := res.Table(Best)
+	if !strings.Contains(best, "0.800") || !strings.Contains(best, "best running times") {
+		t.Errorf("best-mode table unexpected:\n%s", best)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dist/distpar"
+	"repro/internal/msort"
 	"repro/internal/qsort"
 	"repro/internal/ssort"
 )
@@ -36,6 +37,7 @@ const (
 	CilkSample                  // sample-pivot variant on the Cilk-style scheduler
 	MMPar                       // Algorithm 11 (mixed-mode) on the team-building scheduler
 	SSort                       // mixed-mode samplesort (internal/ssort) on the team builder
+	MSort                       // mixed-mode merge sort (internal/msort) on the team builder
 	numAlgorithms
 )
 
@@ -59,6 +61,8 @@ func (a Algorithm) String() string {
 		return "MMPar"
 	case SSort:
 		return "SSort"
+	case MSort:
+		return "MSort"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -74,6 +78,7 @@ var algNames = map[string]Algorithm{
 	"cilksample": CilkSample, "cilk-sample": CilkSample, "cilk sample": CilkSample,
 	"mmpar": MMPar,
 	"ssort": SSort, "samplesort": SSort,
+	"msort": MSort, "mergesort": MSort,
 }
 
 // ParseAlgorithm resolves an algorithm column name (e.g. "mmpar",
@@ -131,9 +136,9 @@ func (c Config) withDefaults() Config {
 		c.MinBlocks = qsort.DefaultMinBlocksPerThread
 	}
 	if len(c.Algs) == 0 {
-		c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, MMPar, SSort}
+		c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, MMPar, SSort, MSort}
 		if c.WithCilk {
-			c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, Cilk, CilkSample, MMPar, SSort}
+			c.Algs = []Algorithm{SeqSTL, SeqQS, Fork, Randfork, Cilk, CilkSample, MMPar, SSort, MSort}
 		}
 	}
 	return c
@@ -296,6 +301,16 @@ func measure(cfg Config, alg Algorithm, input, buf []int32) (Cell, error) {
 			MinPerThread: cfg.BlockSize * cfg.MinBlocks}
 		for r := 0; r < cfg.Reps && err == nil; r++ {
 			err = runOnce(func(d []int32) { ssort.Sort(s, d, opt) })
+		}
+	case MSort:
+		s := core.New(core.Options{P: cfg.P, Seed: cfg.Seed})
+		defer s.Shutdown()
+		// The merge quota mirrors the other mixed-mode columns so all three
+		// form teams at the same scales.
+		opt := msort.Options{Cutoff: cfg.Cutoff,
+			MinPerThread: cfg.BlockSize * cfg.MinBlocks}
+		for r := 0; r < cfg.Reps && err == nil; r++ {
+			err = runOnce(func(d []int32) { msort.Sort(s, d, opt) })
 		}
 	default:
 		err = fmt.Errorf("unknown algorithm %v", alg)

@@ -96,8 +96,8 @@ func TestCSV(t *testing.T) {
 	}
 	csv := res.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	// header + 2 rows × 6 algorithms
-	if len(lines) != 1+2*6 {
+	// header + 2 rows × 7 algorithms
+	if len(lines) != 1+2*7 {
 		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
 	}
 	if !strings.HasPrefix(lines[0], "distribution,size,algorithm") {
@@ -143,7 +143,7 @@ func TestModeString(t *testing.T) {
 }
 
 func TestAlgorithmString(t *testing.T) {
-	want := []string{"Seq/STL", "SeqQS", "Fork", "Randfork", "Cilk", "Cilk sample", "MMPar", "SSort"}
+	want := []string{"Seq/STL", "SeqQS", "Fork", "Randfork", "Cilk", "Cilk sample", "MMPar", "SSort", "MSort"}
 	for a := Algorithm(0); a < numAlgorithms; a++ {
 		if a.String() != want[a] {
 			t.Fatalf("Algorithm(%d).String() = %q, want %q", a, a.String(), want[a])
@@ -156,6 +156,7 @@ func TestParseAlgorithm(t *testing.T) {
 		"seqstl": SeqSTL, "SEQ": SeqSTL, "seqqs": SeqQS, "fork": Fork,
 		"randfork": Randfork, "cilk": Cilk, "CilkSample": CilkSample,
 		"mmpar": MMPar, "ssort": SSort, " samplesort ": SSort,
+		"msort": MSort, "MergeSort": MSort,
 	} {
 		got, err := ParseAlgorithm(name)
 		if err != nil || got != want {
@@ -192,6 +193,33 @@ func TestAlgsSubset(t *testing.T) {
 	csv := res.CSV()
 	if lines := strings.Split(strings.TrimSpace(csv), "\n"); len(lines) != 1+2*2 {
 		t.Fatalf("subset csv lines = %d:\n%s", len(lines), csv)
+	}
+}
+
+// TestMSortColumn runs the promoted MSort column in isolation and checks
+// that it measures, renders with a speedup column, and sorts correctly
+// (measure verifies every output).
+func TestMSortColumn(t *testing.T) {
+	cfg := tinyConfig(false)
+	cfg.Algs = []Algorithm{SeqSTL, MSort}
+	res, err := Run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.Ran[MSort] {
+			t.Fatal("MSort did not run")
+		}
+		if c := row.Cells[MSort]; c.Avg <= 0 || c.Best <= 0 {
+			t.Fatalf("implausible MSort cell %+v", c)
+		}
+		if su := row.Speedup(MSort, Avg); su <= 0 {
+			t.Fatalf("MSort speedup = %v", su)
+		}
+	}
+	out := res.Table(Avg)
+	if !strings.Contains(out, "MSort") || !strings.Contains(out, "SU") {
+		t.Fatalf("MSort table missing columns:\n%s", out)
 	}
 }
 

@@ -46,10 +46,12 @@ func (r *Result) algorithms() []Algorithm {
 }
 
 // suColumns marks the algorithms that get a speedup column next to their
-// time, as in the paper's tables (Fork, Cilk, MMPar) plus the SSort
-// extension column. Speedups are relative to Seq/STL, so they render only
-// when that column ran.
-var suColumns = map[Algorithm]bool{Fork: true, Cilk: true, MMPar: true, SSort: true}
+// time, as in the paper's tables (Fork, Cilk, MMPar) plus the SSort and
+// MSort extension columns. Speedups are relative to Seq/STL, so they
+// render only when that column ran.
+var suColumns = map[Algorithm]bool{
+	Fork: true, Cilk: true, MMPar: true, SSort: true, MSort: true,
+}
 
 // Table renders the result in the paper's layout: rows grouped by
 // distribution, one time column per algorithm that ran (Seq/STL, SeqQS,

@@ -41,16 +41,28 @@ func (o Options) withDefaults() Options {
 }
 
 // Sort sorts data with the mixed-mode parallel merge sort. It blocks until
-// the sort completes. The algorithm is not in-place: it allocates one
-// scratch buffer of len(data).
+// the sort completes: the sort runs as its own one-shot task group, so
+// concurrent sorts on the same scheduler do not wait on each other. The
+// algorithm is not in-place: it allocates one scratch buffer of len(data).
 func Sort[T qsort.Ordered](s *core.Scheduler, data []T, opt Options) {
+	g := s.NewGroup()
+	SortGroup(g, data, opt)
+	g.Wait()
+	// g.Wait observes the group's quiescence: the last merge has completed.
+}
+
+// SortGroup spawns the mixed-mode merge sort of data into the
+// caller-supplied group g and returns immediately; data is sorted once
+// g.Wait() observes the group's quiescence. The whole continuation tree —
+// child sorts and the merges they trigger through childDone — inherits g,
+// so the group drains exactly when the root merge has been written.
+func SortGroup[T qsort.Ordered](g *core.Group, data []T, opt Options) {
 	opt = opt.withDefaults()
 	if len(data) < 2 {
 		return
 	}
 	tmp := make([]T, len(data))
-	s.Run(sortTask(data, tmp, false, nil, opt))
-	// s.Run waits for quiescence: the last merge has completed.
+	g.Spawn(sortTask(data, tmp, false, nil, opt))
 }
 
 // bestNp mirrors the Quicksort's getBestNp for merge steps.

@@ -1,0 +1,61 @@
+package par_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/par"
+)
+
+// TestStandaloneTasksInGroups runs the standalone-task forms of several
+// primitives concurrently, each client in its own quiescence group on one
+// shared scheduler, and checks every client's results against the
+// sequential oracles: team-parallel kernels from independent clients must
+// neither corrupt each other nor wait on each other's quiescence.
+func TestStandaloneTasksInGroups(t *testing.T) {
+	s := propSched(t)
+	const clients = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			in := dist.Generate(dist.Kinds[c%len(dist.Kinds)], propN, uint64(c))
+			add := func(a, b int64) int64 { return a + b }
+			at := func(i int) int64 { return int64(in[i]) }
+			wantSum := par.SeqReduce(len(in), 0, at, add)
+			wantMin, wantMax := par.SeqMinMax(in)
+
+			// Batch two independent primitives into one group and join
+			// them with a single Wait; then run a third via g.Run.
+			g := s.NewGroup()
+			var gotSum int64
+			var gotMin, gotMax int32
+			np := 2 + c%2*2 // alternate team sizes 2 and 4 across clients
+			g.Spawn(par.Reduce(np, len(in), 0, at, add, &gotSum))
+			g.Spawn(par.MinMax(np, in, &gotMin, &gotMax))
+			g.Wait()
+			if gotSum != wantSum {
+				t.Errorf("client %d: reduce = %d, want %d", c, gotSum, wantSum)
+			}
+			if gotMin != wantMin || gotMax != wantMax {
+				t.Errorf("client %d: minmax = (%d, %d), want (%d, %d)",
+					c, gotMin, gotMax, wantMin, wantMax)
+			}
+
+			dst := make([]int64, len(in))
+			g.Run(par.Map(np, dst, at))
+			for i := range dst {
+				if dst[i] != at(i) {
+					t.Errorf("client %d: map[%d] = %d, want %d", c, i, dst[i], at(i))
+					break
+				}
+			}
+			if g.Pending() != 0 {
+				t.Errorf("client %d: group pending = %d after Wait", c, g.Pending())
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -41,6 +41,13 @@
 // allocated once by the task's creator and shared by the team via the task
 // closure. Collectives end with a barrier, so a state object may be reused
 // for any number of consecutive phases by the same team.
+//
+// The standalone-task constructors compose with the scheduler's quiescence
+// groups: spawn the returned task through a core.Group (g.Run for a
+// blocking call, g.Spawn + g.Wait to batch several primitives) and the
+// primitive completes within that group alone, so independent clients can
+// run team-parallel kernels concurrently on one shared scheduler without
+// waiting for each other's work.
 package par
 
 // Chunk returns the static-schedule chunk [lo, hi) of team member lid of w

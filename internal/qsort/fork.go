@@ -19,15 +19,27 @@ import (
 // ForkJoinCore sorts data with the task-parallel quicksort on the
 // team-building scheduler; all tasks have thread requirement 1, so the
 // scheduler degenerates to deterministic work-stealing (§3.1). It blocks
-// until the sort completes.
+// until the sort completes: the sort runs as its own one-shot task group,
+// so concurrent sorts on the same scheduler do not wait on each other.
 func ForkJoinCore[T Ordered](s *core.Scheduler, data []T, cutoff int) {
+	g := s.NewGroup()
+	ForkJoinGroup(g, data, cutoff)
+	g.Wait()
+}
+
+// ForkJoinGroup spawns the task-parallel quicksort of data into the
+// caller-supplied group g and returns immediately; data is sorted once
+// g.Wait() observes the group's quiescence. This is the composable form:
+// a client may spawn several sorts (and any other tasks) into one group
+// and join them all with a single Wait.
+func ForkJoinGroup[T Ordered](g *core.Group, data []T, cutoff int) {
 	if cutoff < 2 {
 		cutoff = DefaultCutoff
 	}
 	if len(data) < 2 {
 		return
 	}
-	s.Run(core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) }))
+	g.Spawn(core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) }))
 }
 
 // ForkCtx runs the task-parallel quicksort of Algorithm 10 from inside a

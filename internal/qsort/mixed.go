@@ -55,19 +55,30 @@ func BestNp(n, blockSize, minBlocks, maxTeam int) int {
 
 // MixedMode sorts data with the mixed-mode parallel quicksort on the
 // team-building scheduler (the tables' "MMPar" column). It blocks until the
-// sort completes.
+// sort completes: the sort runs as its own one-shot task group, so
+// concurrent sorts on the same scheduler do not wait on each other.
 func MixedMode[T Ordered](s *core.Scheduler, data []T, opt MMOptions) {
+	g := s.NewGroup()
+	MixedModeGroup(g, data, opt)
+	g.Wait()
+}
+
+// MixedModeGroup spawns the mixed-mode quicksort of data into the
+// caller-supplied group g and returns immediately; data is sorted once
+// g.Wait() observes the group's quiescence. All recursive subtasks
+// (including fork-join fallbacks) inherit g.
+func MixedModeGroup[T Ordered](g *core.Group, data []T, opt MMOptions) {
 	opt = opt.withDefaults()
 	if len(data) < 2 {
 		return
 	}
-	np := BestNp(len(data), opt.BlockSize, opt.MinBlocksPerThread, s.MaxTeam())
+	np := BestNp(len(data), opt.BlockSize, opt.MinBlocksPerThread, g.Scheduler().MaxTeam())
 	if np == 1 {
 		// Algorithm 11 line 1: "if np = 1 then return qsort(data, n)".
-		ForkJoinCore(s, data, opt.Cutoff)
+		ForkJoinGroup(g, data, opt.Cutoff)
 		return
 	}
-	s.Run(newMMTask(data, np, opt))
+	g.Spawn(newMMTask(data, np, opt))
 }
 
 // mmTask is one mixed-mode quicksort task: a data-parallel partitioning of

@@ -82,24 +82,36 @@ func bestNp(n, minPerThread, maxTeam int) int {
 }
 
 // Sort sorts data with the mixed-mode parallel samplesort (the tables'
-// "SSort" column). It blocks until the sort completes. The algorithm is
-// not in-place: it allocates one scratch buffer of len(data); ranges of
-// the buffer are reused down the bucket recursion.
+// "SSort" column). It blocks until the sort completes: the sort runs as its
+// own one-shot task group, so concurrent sorts on the same scheduler do not
+// wait on each other. The algorithm is not in-place: it allocates one
+// scratch buffer of len(data); ranges of the buffer are reused down the
+// bucket recursion.
 func Sort[T qsort.Ordered](s *core.Scheduler, data []T, opt Options) {
+	g := s.NewGroup()
+	SortGroup(g, data, opt)
+	g.Wait()
+}
+
+// SortGroup spawns the mixed-mode samplesort of data into the
+// caller-supplied group g and returns immediately; data is sorted once
+// g.Wait() observes the group's quiescence. All bucket recursion subtasks
+// inherit g.
+func SortGroup[T qsort.Ordered](g *core.Group, data []T, opt Options) {
 	opt = opt.withDefaults()
 	n := len(data)
 	if n < 2 {
 		return
 	}
-	np := bestNp(n, opt.MinPerThread, s.MaxTeam())
+	np := bestNp(n, opt.MinPerThread, g.Scheduler().MaxTeam())
 	if np == 1 {
 		// Too small for a team: the task-parallel quicksort is the
 		// degenerate samplesort (every element its own bucket recursion).
-		qsort.ForkJoinCore(s, data, opt.Cutoff)
+		qsort.ForkJoinGroup(g, data, opt.Cutoff)
 		return
 	}
 	scratch := make([]T, n)
-	s.Run(newTask(data, scratch, np, opt))
+	g.Spawn(newTask(data, scratch, np, opt))
 }
 
 // task is one samplesort team task over data; scratch is a disjoint buffer

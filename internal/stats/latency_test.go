@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must read all zeros")
+	}
+}
+
+func TestSamplePercentilesNearestRank(t *testing.T) {
+	var s Sample
+	// Insert out of order; percentiles must sort internally.
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		s.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {20, 1}, {21, 2}, {40, 2}, {50, 3},
+		{60, 3}, {61, 4}, {80, 4}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleMergeAndDurations(t *testing.T) {
+	var a, b Sample
+	a.AddDuration(100 * time.Millisecond)
+	a.AddDuration(300 * time.Millisecond)
+	b.AddDuration(200 * time.Millisecond)
+	// Interleave a percentile query with later adds: the sample must
+	// re-sort after growing.
+	if got := a.Percentile(100); got != 0.3 {
+		t.Fatalf("pre-merge max = %v", got)
+	}
+	a.Merge(&b)
+	if a.N() != 3 || b.N() != 1 {
+		t.Fatalf("after merge: a.N=%d b.N=%d", a.N(), b.N())
+	}
+	if got := a.Percentile(50); got != 0.2 {
+		t.Fatalf("median = %v, want 0.2", got)
+	}
+}
+
+func TestSamplePercentileOutOfRangePanics(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile must panic")
+		}
+	}()
+	s.Percentile(101)
+}

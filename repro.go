@@ -22,6 +22,10 @@
 // parallel Quicksort (SortMixedMode), its fork-join and sequential baselines,
 // the input distribution generators, and a harness regenerating the paper's
 // Tables 1–10 (cmd/tables).
+//
+// For serving many concurrent clients on one scheduler, see Runtime (each
+// sort call runs as its own quiescence Group, so independent requests never
+// wait on each other) and Scheduler.NewGroup for the underlying primitive.
 package repro
 
 import (
@@ -49,6 +53,12 @@ type Ctx = core.Ctx
 // TaskGroup provides fork/join-style synchronization for single-threaded
 // subtasks (the `sync` of the paper's Algorithm 10).
 type TaskGroup = core.TaskGroup
+
+// Group is a quiescence domain on a Scheduler: tasks spawned into a group
+// (and all their descendants) complete independently of other groups'
+// tasks, so one scheduler can serve many concurrent clients. Create with
+// Scheduler.NewGroup.
+type Group = core.Group
 
 // SchedStats is the aggregate counter snapshot of a scheduler.
 type SchedStats = stats.Snapshot

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/msort"
+	"repro/internal/qsort"
+	"repro/internal/ssort"
+)
+
+// Runtime is a long-lived sorting service over one shared Scheduler: many
+// goroutines may call the Sort* methods concurrently, and each call runs as
+// its own quiescence group, so independent requests neither wait on each
+// other's tasks nor require a scheduler per client. This is the paper's
+// scheduler in its intended role as a general runtime — each client
+// computation is a task-parallel job whose interior may contain
+// data-parallel team tasks, and the scheduler multiplexes all of them over
+// one set of p workers.
+//
+// The element type is fixed per Runtime (it parameterizes the Sort*
+// methods); create one Runtime per element type on the same Scheduler via
+// NewRuntimeOn if a process needs several.
+type Runtime[T Ordered] struct {
+	s     *Scheduler
+	owned bool // whether Close shuts the scheduler down
+}
+
+// NewRuntime starts a scheduler with opts.P workers (default NumCPU) and
+// returns a Runtime serving concurrent sorts on it. Release the workers
+// with Close.
+func NewRuntime[T Ordered](opts Options) *Runtime[T] {
+	return &Runtime[T]{s: core.New(opts), owned: true}
+}
+
+// NewRuntimeOn returns a Runtime serving concurrent sorts on an existing
+// scheduler (which the caller keeps owning: Close on such a Runtime is a
+// no-op, shut the scheduler down yourself).
+func NewRuntimeOn[T Ordered](s *Scheduler) *Runtime[T] {
+	return &Runtime[T]{s: s}
+}
+
+// Scheduler returns the underlying shared scheduler.
+func (r *Runtime[T]) Scheduler() *Scheduler { return r.s }
+
+// P returns the worker count of the underlying scheduler.
+func (r *Runtime[T]) P() int { return r.s.P() }
+
+// Close shuts the underlying scheduler down if the Runtime owns it
+// (created by NewRuntime). Outstanding sorts are abandoned; finish or wait
+// for them first.
+func (r *Runtime[T]) Close() {
+	if r.owned {
+		r.s.Shutdown()
+	}
+}
+
+// SortMixedMode sorts data with the paper's mixed-mode parallel Quicksort
+// (Algorithm 11) as an independent group on the shared scheduler. It blocks
+// until data is sorted; concurrent calls proceed independently.
+func (r *Runtime[T]) SortMixedMode(data []T, opt MMOptions) {
+	qsort.MixedMode(r.s, data, opt)
+}
+
+// SortForkJoin sorts data with the task-parallel Quicksort (Algorithm 10)
+// as an independent group on the shared scheduler.
+func (r *Runtime[T]) SortForkJoin(data []T) {
+	qsort.ForkJoinCore(r.s, data, qsort.DefaultCutoff)
+}
+
+// SortSamplesort sorts data with the mixed-mode parallel samplesort as an
+// independent group on the shared scheduler.
+func (r *Runtime[T]) SortSamplesort(data []T, opt SSOptions) {
+	ssort.Sort(r.s, data, opt)
+}
+
+// SortMergeMixedMode sorts data with the mixed-mode parallel merge sort as
+// an independent group on the shared scheduler.
+func (r *Runtime[T]) SortMergeMixedMode(data []T, opt MSOptions) {
+	msort.Sort(r.s, data, opt)
+}

@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
 set -euo pipefail
 
-# Benchmark trajectory: runs the team-parallel primitive benchmarks and the
-# samplesort-vs-quicksort benchmarks and emits machine-readable JSON
-# (`go test -bench -json` post-processed by scripts/benchjson).
+# Benchmark trajectory: runs the team-parallel primitive benchmarks, the
+# samplesort-vs-quicksort benchmarks, and the multi-client throughput
+# harness, and emits machine-readable JSON (`go test -bench -json`
+# post-processed by scripts/benchjson; cmd/throughput emits JSON natively).
 #
-#   BENCH_par.json   primitive throughput (Reduce/Scan/Pack/Histogram/MinMax/Map)
-#   BENCH_sort.json  mixed-mode quicksort vs samplesort per distribution
+#   BENCH_par.json         primitive throughput (Reduce/Scan/Pack/Histogram/MinMax/Map)
+#   BENCH_sort.json        mixed-mode quicksort vs samplesort per distribution
+#   BENCH_throughput.json  C concurrent clients × request mix on one shared scheduler
 #
 # Environment:
-#   BENCHTIME  per-benchmark time or count (default 1s; bench-smoke uses 1x)
-#   OUTDIR     output directory for the JSON files (default repo root)
+#   BENCHTIME     per-benchmark time or count (default 1s; bench-smoke uses
+#                 1x, which also selects a tiny throughput run)
+#   OUTDIR        output directory for the JSON files (default repo root)
+#   TP_CLIENTS    throughput harness client count (default 8)
+#   TP_DURATION   throughput harness measurement duration (default 3s)
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-1s}
 OUTDIR=${OUTDIR:-.}
+
+TP_ARGS=()
+if [[ "${BENCHTIME}" == "1x" ]]; then
+  # Smoke mode: one tiny mix, just enough to prove the harness end to end.
+  TP_CLIENTS=${TP_CLIENTS:-4}
+  TP_DURATION=${TP_DURATION:-300ms}
+  TP_ARGS=(-sizes 65536 -dists random,staggered)
+else
+  TP_CLIENTS=${TP_CLIENTS:-8}
+  TP_DURATION=${TP_DURATION:-3s}
+fi
 
 echo "bench: primitives (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_par.json"
 go test -run '^$' -bench '^Benchmark(Reduce|ScanInclusive|ScanExclusive|Pack|Histogram|MinMax|Map)$' \
@@ -26,5 +42,9 @@ echo "bench: sorts (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_sort.json"
 go test -run '^$' -bench '^Benchmark(SSort|MMQsort)$' \
   -benchtime "${BENCHTIME}" -json ./internal/ssort |
   go run ./scripts/benchjson > "${OUTDIR}/BENCH_sort.json"
+
+echo "bench: throughput (${TP_CLIENTS} clients, ${TP_DURATION}) -> ${OUTDIR}/BENCH_throughput.json"
+go run ./cmd/throughput -clients "${TP_CLIENTS}" -duration "${TP_DURATION}" \
+  ${TP_ARGS[@]+"${TP_ARGS[@]}"} > "${OUTDIR}/BENCH_throughput.json"
 
 echo "bench: PASS"

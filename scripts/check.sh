@@ -22,8 +22,8 @@ go vet ./...
 echo "check: go test ./..."
 go test ./...
 
-echo "check: go test -race ./internal/core ./internal/dist ./internal/dist/distpar ./internal/par ./internal/ssort"
-go test -race ./internal/core ./internal/dist ./internal/dist/distpar ./internal/par ./internal/ssort
+echo "check: go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort"
+go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort
 
 echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
 BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh

@@ -16,7 +16,7 @@ failures=0
 fuzzRegex='^func[[:space:]]+Fuzz[A-Za-z0-9_]+'
 missing=()
 
-fuzzDirs=(internal/dist internal/par)
+fuzzDirs=(internal/core internal/dist internal/par)
 
 for dir in "${fuzzDirs[@]}"; do
   if ! grep -rEn --include='*_test.go' "${fuzzRegex}" "${dir}" >/dev/null 2>&1; then
