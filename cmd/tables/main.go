@@ -21,10 +21,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 
-	"repro/internal/dist"
 	"repro/internal/harness"
 )
 
@@ -73,36 +71,21 @@ func main() {
 		}
 		cfg.Seed = *seed
 		if *sizes != "" {
-			cfg.Sizes = nil
-			for _, s := range strings.Split(*sizes, ",") {
-				n, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil || n < 1 {
-					fmt.Fprintf(os.Stderr, "bad size %q\n", s)
-					os.Exit(2)
-				}
-				cfg.Sizes = append(cfg.Sizes, n)
+			if cfg.Sizes, err = harness.ParseSizes(*sizes); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
 			}
 		}
 		if *dists != "" {
-			cfg.Kinds = nil
-			for _, s := range strings.Split(*dists, ",") {
-				k, err := dist.Parse(s)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(2)
-				}
-				cfg.Kinds = append(cfg.Kinds, k)
+			if cfg.Kinds, err = harness.ParseKinds(*dists); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
 			}
 		}
 		if *algos != "" {
-			cfg.Algs = nil
-			for _, s := range strings.Split(*algos, ",") {
-				a, err := harness.ParseAlgorithm(s)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(2)
-				}
-				cfg.Algs = append(cfg.Algs, a)
+			if cfg.Algs, err = harness.ParseAlgorithms(*algos); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
 			}
 		}
 		if cfg.P > runtime.NumCPU() {

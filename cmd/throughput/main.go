@@ -2,15 +2,34 @@
 // shared scheduler: C client goroutines issue sort requests drawn from a
 // size × distribution × algorithm mix against a single repro.Runtime, and
 // the per-group quiescence of the scheduler lets all requests proceed
-// concurrently. It reports requests/second and latency percentiles
-// (internal/stats.Sample) as JSON on stdout — the BENCH_throughput.json
-// trajectory emitted by scripts/bench.sh — plus a human summary on stderr.
+// concurrently. It reports requests/second, latency percentiles
+// (internal/stats.Sample) and the scheduler's admission-control counters
+// (queue depth, rejects, blocked spawns) as JSON on stdout — the
+// BENCH_throughput.json trajectory emitted by scripts/bench.sh — plus a
+// human summary on stderr.
+//
+// Admission control: -max-pending and -max-inject configure the scheduler's
+// inject bounds (repro.Options.MaxPendingPerGroup / MaxInject), so the
+// harness can demonstrate backpressure: with clients ≫ p and a bound
+// configured, peak pending injected tasks never exceed the bound.
+//
+// Sweep mode: -sweep runs the same request mix at several client counts
+// (each on a fresh scheduler, so counters are per-point), records one
+// measurement per count, and reports the saturation knee — the first
+// client count whose throughput gain over the previous point falls below
+// 10%.
+//
+// Batch mode: -batch n submits n requests per call through the batched
+// Runtime.SortMany (one admission-lock acquisition per batch) instead of
+// one Sort* call per request; latency samples are then per batch.
 //
 // Usage:
 //
 //	throughput -clients 8 -duration 3s
 //	throughput -clients 16 -sizes 65536,1048576 -dists random,staggered -algos mmpar,ssort
-//	throughput -p 8 -duration 1s -algos mmpar -sizes 4194304
+//	throughput -clients 64 -max-inject 16 -max-pending 2
+//	throughput -sweep 1,2,4,8,16,32 -duration 1s
+//	throughput -batch 8 -algos mmpar,ssort
 package main
 
 import (
@@ -19,8 +38,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,26 +67,46 @@ type clientResult struct {
 	failures int64
 }
 
+// runConfig is everything one measurement point needs besides its client
+// count.
+type runConfig struct {
+	p          int
+	seed       uint64
+	batch      int
+	maxPending int
+	maxInject  int
+	algos      []harness.Algorithm
+	reqs       []request
+	maxSize    int
+	mmOpt      repro.MMOptions
+	ssOpt      repro.SSOptions
+	msOpt      repro.MSOptions
+}
+
 func main() {
 	var (
-		p        = flag.Int("p", 0, "workers of the shared scheduler (default NumCPU)")
-		clients  = flag.Int("clients", 8, "concurrent client goroutines")
-		duration = flag.Duration("duration", 3*time.Second, "measurement duration")
-		sizesStr = flag.String("sizes", "65536,262144,1048576", "request sizes (elements), comma-separated")
-		distsStr = flag.String("dists", "random,gauss,staggered", "input distributions, comma-separated")
-		algosStr = flag.String("algos", "mmpar,fork,ssort,msort", "algorithms, comma-separated (seqstl|fork|mmpar|ssort|msort)")
-		seed     = flag.Uint64("seed", 42, "input generator seed")
-		cutoff   = flag.Int("cutoff", qsort.DefaultCutoff, "sequential cutoff")
-		block    = flag.Int("block", qsort.DefaultBlockSize, "partition block size (mmpar; also sets the team quota)")
-		minBlk   = flag.Int("minblocks", qsort.DefaultMinBlocksPerThread, "min blocks per partitioning thread")
+		p          = flag.Int("p", 0, "workers of the shared scheduler (default NumCPU)")
+		clients    = flag.Int("clients", 8, "concurrent client goroutines")
+		duration   = flag.Duration("duration", 3*time.Second, "measurement duration (per sweep point)")
+		sizesStr   = flag.String("sizes", "65536,262144,1048576", "request sizes (elements), comma-separated")
+		distsStr   = flag.String("dists", "random,gauss,staggered", "input distributions, comma-separated")
+		algosStr   = flag.String("algos", "mmpar,fork,ssort,msort", "algorithms, comma-separated (seqstl|fork|mmpar|ssort|msort)")
+		seed       = flag.Uint64("seed", 42, "input generator seed")
+		cutoff     = flag.Int("cutoff", qsort.DefaultCutoff, "sequential cutoff")
+		block      = flag.Int("block", qsort.DefaultBlockSize, "partition block size (mmpar; also sets the team quota)")
+		minBlk     = flag.Int("minblocks", qsort.DefaultMinBlocksPerThread, "min blocks per partitioning thread")
+		maxPending = flag.Int("max-pending", 0, "admission bound per group (Options.MaxPendingPerGroup; 0 = unbounded)")
+		maxInject  = flag.Int("max-inject", 0, "admission bound across all groups (Options.MaxInject; 0 = unbounded)")
+		batch      = flag.Int("batch", 1, "requests per submission (>1 uses the batched Runtime.SortMany)")
+		sweepStr   = flag.String("sweep", "", "comma-separated client counts; runs one measurement per count and reports the saturation knee")
 	)
 	flag.Parse()
 
-	sizes, err := parseSizes(*sizesStr)
+	sizes, err := harness.ParseSizes(*sizesStr)
 	if err != nil {
 		fatal(err)
 	}
-	kinds, err := parseDists(*distsStr)
+	kinds, err := harness.ParseKinds(*distsStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,56 +114,162 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	rt := repro.NewRuntime[int32](repro.Options{P: *p, Seed: *seed})
-	defer rt.Close()
-
-	// Tunables mirror the harness columns: one team quota (block·minblocks)
-	// across all three mixed-mode algorithms.
-	mmOpt := repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk}
-	ssOpt := repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
-	msOpt := repro.MSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
-
-	// Pre-generate every (distribution, size) input once, team-parallel on
-	// the shared scheduler; requests copy from this pool so generation cost
-	// never pollutes the latencies.
-	var reqs []request
-	for _, k := range kinds {
-		for _, n := range sizes {
-			in := distpar.Generate(rt.Scheduler(), k, n, *seed+uint64(n))
-			for _, a := range algos {
-				reqs = append(reqs, request{size: n, kind: k, alg: a, in: in})
+	if *batch < 1 {
+		fatal(fmt.Errorf("-batch must be ≥ 1"))
+	}
+	if *batch > 1 {
+		for _, a := range algos {
+			if a == harness.SeqSTL {
+				fatal(fmt.Errorf("-batch > 1 cannot include seqstl (SortMany runs on the scheduler)"))
 			}
 		}
 	}
-
-	maxSize := 0
-	for _, n := range sizes {
-		if n > maxSize {
-			maxSize = n
+	points := []int{*clients}
+	if *sweepStr != "" {
+		if points, err = harness.ParseSizes(*sweepStr); err != nil { // positive ints, same syntax
+			fatal(fmt.Errorf("bad -sweep: %w", err))
 		}
 	}
 
-	deadline := time.Now().Add(*duration)
+	cfg := runConfig{
+		p:          *p,
+		seed:       *seed,
+		batch:      *batch,
+		maxPending: *maxPending,
+		maxInject:  *maxInject,
+		algos:      algos,
+		mmOpt:      repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk},
+		ssOpt:      repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
+		msOpt:      repro.MSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
+	}
+
+	// Pre-generate every (distribution, size) input once, team-parallel on a
+	// short-lived scheduler; requests copy from this pool so generation cost
+	// never pollutes the latencies. Each measurement point then runs on a
+	// fresh scheduler of its own, so the admission counters are per-point.
+	gen := repro.NewScheduler(repro.Options{P: *p, Seed: *seed})
+	for _, k := range kinds {
+		for _, n := range sizes {
+			in := distpar.Generate(gen, k, n, *seed+uint64(n))
+			for _, a := range algos {
+				cfg.reqs = append(cfg.reqs, request{size: n, kind: k, alg: a, in: in})
+			}
+			if n > cfg.maxSize {
+				cfg.maxSize = n
+			}
+		}
+	}
+	gen.Shutdown()
+
+	var pts []pointJSON
+	for i, c := range points {
+		pts = append(pts, runPoint(cfg, i, c, *duration))
+	}
+	last := pts[len(pts)-1]
+
+	rep := report{
+		Config: configJSON{
+			P: last.P,
+			// In sweep mode the top-level metrics are the last point's, so
+			// the config reports that point's client count (per-point counts
+			// are in the sweep array).
+			Clients:            last.Clients,
+			Sizes:              sizes,
+			Dists:              kindNames(kinds),
+			Algos:              algoNames(algos),
+			Seed:               *seed,
+			Batch:              *batch,
+			MaxPendingPerGroup: *maxPending,
+			MaxInject:          *maxInject,
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		},
+		ElapsedSeconds: last.ElapsedSeconds,
+		Requests:       last.Requests,
+		Failures:       last.Failures,
+		RequestsPerSec: last.RequestsPerSec,
+		PeakInflight:   last.PeakInflight,
+		Latency:        last.Latency,
+		Admission:      last.Admission,
+		PerAlgorithm:   last.PerAlgorithm,
+	}
+	if len(pts) > 1 {
+		rep.Sweep = pts
+		rep.KneeClients = knee(pts)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	var failures, requests int64
+	for _, pt := range pts {
+		fmt.Fprintf(os.Stderr,
+			"throughput: p=%d clients=%d elapsed=%.2fs requests=%d (%.1f req/s) p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms admission[%s]\n",
+			pt.P, pt.Clients, pt.ElapsedSeconds, pt.Requests, pt.RequestsPerSec,
+			pt.Latency.P50*1e3, pt.Latency.P90*1e3, pt.Latency.P99*1e3, pt.Latency.Max*1e3,
+			admissionLine(pt.Admission))
+		failures += pt.Failures
+		requests += pt.Requests
+	}
+	if rep.KneeClients > 0 {
+		fmt.Fprintf(os.Stderr, "throughput: saturation knee at %d clients\n", rep.KneeClients)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "throughput: %d OUTPUTS NOT SORTED\n", failures)
+		os.Exit(1)
+	}
+	if requests == 0 {
+		fmt.Fprintln(os.Stderr, "throughput: no requests completed (duration too short?)")
+		os.Exit(1)
+	}
+}
+
+// runPoint runs the request mix with the given client count on a fresh
+// runtime and aggregates one measurement point.
+func runPoint(cfg runConfig, point, clients int, duration time.Duration) pointJSON {
+	rt := repro.NewRuntime[int32](repro.Options{
+		P:                  cfg.p,
+		Seed:               cfg.seed,
+		MaxPendingPerGroup: cfg.maxPending,
+		MaxInject:          cfg.maxInject,
+	})
+	defer rt.Close()
+	batchOpt := repro.BatchOptions{MM: cfg.mmOpt, SS: cfg.ssOpt, MS: cfg.msOpt}
+
+	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
-	results := make([]clientResult, *clients)
-	var inflightPeak atomic.Int64
-	var inflightNow atomic.Int64
+	results := make([]clientResult, clients)
+	var inflightPeak, inflightNow atomic.Int64
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			res := &results[c]
 			res.perAlgo = map[harness.Algorithm]*stats.Sample{}
-			rng := dist.NewRNG(*seed).Split() // per-client request stream
-			rng.Skip(uint64(c) << 32)
-			buf := make([]int32, maxSize)
+			rng := dist.NewRNG(cfg.seed).Split() // per-client request stream
+			// Disjoint skip regions per (sweep point, client): clients get
+			// 2^48-wide lanes, so up to 2^16 clients per point never collide.
+			rng.Skip(uint64(point)<<48 | uint64(c)<<32)
+			// Per-client scratch, reused every iteration: allocations inside
+			// the timed loop would perturb the tail latencies being measured.
+			bufs := make([][]int32, cfg.batch)
+			for i := range bufs {
+				bufs[i] = make([]int32, cfg.maxSize)
+			}
+			picked := make([]request, cfg.batch)
+			batch := make([]repro.SortRequest[int32], cfg.batch)
 			for time.Now().Before(deadline) {
-				req := reqs[rng.Intn(len(reqs))]
-				d := buf[:req.size]
-				copy(d, req.in)
-				cur := inflightNow.Add(1)
+				for i := range batch {
+					req := cfg.reqs[rng.Intn(len(cfg.reqs))]
+					d := bufs[i][:req.size]
+					copy(d, req.in)
+					picked[i] = req
+					batch[i] = repro.SortRequest[int32]{Data: d, Algo: batchAlgo(req.alg)}
+				}
+				cur := inflightNow.Add(int64(cfg.batch))
 				for {
 					p := inflightPeak.Load()
 					if cur <= p || inflightPeak.CompareAndSwap(p, cur) {
@@ -134,19 +277,27 @@ func main() {
 					}
 				}
 				t0 := time.Now()
-				sortWith(rt, req.alg, d, mmOpt, ssOpt, msOpt)
-				el := time.Since(t0)
-				inflightNow.Add(-1)
-				res.overall.AddDuration(el)
-				s := res.perAlgo[req.alg]
-				if s == nil {
-					s = &stats.Sample{}
-					res.perAlgo[req.alg] = s
+				if cfg.batch == 1 {
+					sortWith(rt, picked[0].alg, batch[0].Data, cfg.mmOpt, cfg.ssOpt, cfg.msOpt)
+				} else {
+					rt.SortMany(batch, batchOpt)
 				}
-				s.AddDuration(el)
-				res.requests++
-				if !qsort.IsSorted(d) {
-					res.failures++
+				el := time.Since(t0)
+				inflightNow.Add(-int64(cfg.batch))
+				res.overall.AddDuration(el) // per submission: a whole batch is one sample
+				for _, req := range picked {
+					s := res.perAlgo[req.alg]
+					if s == nil {
+						s = &stats.Sample{}
+						res.perAlgo[req.alg] = s
+					}
+					s.AddDuration(el)
+					res.requests++
+				}
+				for i, req := range picked {
+					if !qsort.IsSorted(bufs[i][:req.size]) {
+						res.failures++
+					}
 				}
 			}
 		}(c)
@@ -173,53 +324,51 @@ func main() {
 		failures += res.failures
 	}
 
-	rep := report{
-		Config: configJSON{
-			P:          rt.P(),
-			Clients:    *clients,
-			Sizes:      sizes,
-			Dists:      kindNames(kinds),
-			Algos:      algoNames(algos),
-			Seed:       *seed,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-		},
+	adm := rt.Scheduler().Admission()
+	pt := pointJSON{
+		P:              rt.P(),
+		Clients:        clients,
 		ElapsedSeconds: elapsed.Seconds(),
 		Requests:       requests,
 		Failures:       failures,
 		RequestsPerSec: float64(requests) / elapsed.Seconds(),
 		PeakInflight:   inflightPeak.Load(),
 		Latency:        latencyOf(&overall),
+		Admission: admissionJSON{
+			Injected:      adm.Injected,
+			Taken:         adm.Taken,
+			Pending:       adm.Pending,
+			Rejected:      adm.Rejected,
+			BlockedSpawns: adm.BlockedSpawns,
+			PeakPending:   adm.PeakPending,
+		},
 	}
-	for _, a := range algos {
+	for _, a := range cfg.algos {
 		if s := perAlgo[a]; s != nil {
-			rep.PerAlgorithm = append(rep.PerAlgorithm, algoReport{
+			pt.PerAlgorithm = append(pt.PerAlgorithm, algoReport{
 				Algorithm: a.String(),
 				Requests:  int64(s.N()),
 				Latency:   latencyOf(s),
 			})
 		}
 	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr,
-		"throughput: p=%d clients=%d elapsed=%.2fs requests=%d (%.1f req/s) p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
-		rep.Config.P, *clients, rep.ElapsedSeconds, requests, rep.RequestsPerSec,
-		rep.Latency.P50*1e3, rep.Latency.P90*1e3, rep.Latency.P99*1e3, rep.Latency.Max*1e3)
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "throughput: %d OUTPUTS NOT SORTED\n", failures)
-		os.Exit(1)
-	}
-	if requests == 0 {
-		fmt.Fprintln(os.Stderr, "throughput: no requests completed (duration too short?)")
-		os.Exit(1)
-	}
+	return pt
 }
 
-// sortWith dispatches one request on the shared runtime.
+// knee returns the clients value of the first sweep point whose throughput
+// gain over the previous point falls below 10% (including regressions) —
+// the saturation knee of the clients × p sweep — or 0 if throughput keeps
+// scaling through the last point.
+func knee(pts []pointJSON) int {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RequestsPerSec < pts[i-1].RequestsPerSec*1.10 {
+			return pts[i].Clients
+		}
+	}
+	return 0
+}
+
+// sortWith dispatches one unbatched request on the shared runtime.
 func sortWith(rt *repro.Runtime[int32], alg harness.Algorithm, d []int32,
 	mm repro.MMOptions, ss repro.SSOptions, ms repro.MSOptions) {
 	switch alg {
@@ -236,14 +385,31 @@ func sortWith(rt *repro.Runtime[int32], alg harness.Algorithm, d []int32,
 	}
 }
 
+// batchAlgo maps a harness column to the SortMany request algorithm.
+func batchAlgo(a harness.Algorithm) repro.SortAlgo {
+	switch a {
+	case harness.Fork:
+		return repro.AlgoForkJoin
+	case harness.SSort:
+		return repro.AlgoSamplesort
+	case harness.MSort:
+		return repro.AlgoMergeMixedMode
+	default:
+		return repro.AlgoMixedMode
+	}
+}
+
 type configJSON struct {
-	P          int      `json:"p"`
-	Clients    int      `json:"clients"`
-	Sizes      []int    `json:"sizes"`
-	Dists      []string `json:"dists"`
-	Algos      []string `json:"algos"`
-	Seed       uint64   `json:"seed"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	P                  int      `json:"p"`
+	Clients            int      `json:"clients"`
+	Sizes              []int    `json:"sizes"`
+	Dists              []string `json:"dists"`
+	Algos              []string `json:"algos"`
+	Seed               uint64   `json:"seed"`
+	Batch              int      `json:"batch"`
+	MaxPendingPerGroup int      `json:"max_pending_per_group"`
+	MaxInject          int      `json:"max_inject"`
+	GOMAXPROCS         int      `json:"gomaxprocs"`
 }
 
 type latencyJSON struct {
@@ -255,21 +421,48 @@ type latencyJSON struct {
 	Max  float64 `json:"max_seconds"`
 }
 
+type admissionJSON struct {
+	Injected      int64 `json:"injected"`
+	Taken         int64 `json:"taken"`
+	Pending       int64 `json:"pending"`
+	Rejected      int64 `json:"rejected"`
+	BlockedSpawns int64 `json:"blocked_spawns"`
+	PeakPending   int64 `json:"peak_pending"`
+}
+
 type algoReport struct {
 	Algorithm string      `json:"algorithm"`
 	Requests  int64       `json:"requests"`
 	Latency   latencyJSON `json:"latency"`
 }
 
+// pointJSON is one measurement: the whole run in single mode, one client
+// count in sweep mode.
+type pointJSON struct {
+	P              int           `json:"p"`
+	Clients        int           `json:"clients"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Requests       int64         `json:"requests"`
+	Failures       int64         `json:"failures"`
+	RequestsPerSec float64       `json:"requests_per_second"`
+	PeakInflight   int64         `json:"peak_inflight_requests"`
+	Latency        latencyJSON   `json:"latency"`
+	Admission      admissionJSON `json:"admission"`
+	PerAlgorithm   []algoReport  `json:"per_algorithm,omitempty"`
+}
+
 type report struct {
-	Config         configJSON   `json:"config"`
-	ElapsedSeconds float64      `json:"elapsed_seconds"`
-	Requests       int64        `json:"requests"`
-	Failures       int64        `json:"failures"`
-	RequestsPerSec float64      `json:"requests_per_second"`
-	PeakInflight   int64        `json:"peak_inflight_requests"`
-	Latency        latencyJSON  `json:"latency"`
-	PerAlgorithm   []algoReport `json:"per_algorithm"`
+	Config         configJSON    `json:"config"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Requests       int64         `json:"requests"`
+	Failures       int64         `json:"failures"`
+	RequestsPerSec float64       `json:"requests_per_second"`
+	PeakInflight   int64         `json:"peak_inflight_requests"`
+	Latency        latencyJSON   `json:"latency"`
+	Admission      admissionJSON `json:"admission"`
+	PerAlgorithm   []algoReport  `json:"per_algorithm"`
+	Sweep          []pointJSON   `json:"sweep,omitempty"`
+	KneeClients    int           `json:"saturation_knee_clients,omitempty"`
 }
 
 func latencyOf(s *stats.Sample) latencyJSON {
@@ -283,28 +476,9 @@ func latencyOf(s *stats.Sample) latencyJSON {
 	}
 }
 
-func parseSizes(csv string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(csv, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad size %q", f)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func parseDists(csv string) ([]dist.Kind, error) {
-	var out []dist.Kind
-	for _, f := range strings.Split(csv, ",") {
-		k, err := dist.Parse(f)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, k)
-	}
-	return out, nil
+func admissionLine(a admissionJSON) string {
+	return fmt.Sprintf("injected=%d rejected=%d blocked=%d peak_pending=%d",
+		a.Injected, a.Rejected, a.BlockedSpawns, a.PeakPending)
 }
 
 // parseAlgos accepts the harness column names restricted to algorithms that
@@ -314,18 +488,16 @@ func parseAlgos(csv string) ([]harness.Algorithm, error) {
 		harness.SeqSTL: true, harness.Fork: true, harness.MMPar: true,
 		harness.SSort: true, harness.MSort: true,
 	}
-	var out []harness.Algorithm
-	for _, f := range strings.Split(csv, ",") {
-		a, err := harness.ParseAlgorithm(f)
-		if err != nil {
-			return nil, err
-		}
+	as, err := harness.ParseAlgorithms(csv)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range as {
 		if !shared[a] {
 			return nil, fmt.Errorf("algorithm %v does not run on the shared scheduler (want seqstl|fork|mmpar|ssort|msort)", a)
 		}
-		out = append(out, a)
 	}
-	return out, nil
+	return as, nil
 }
 
 func kindNames(ks []dist.Kind) []string {

@@ -46,15 +46,21 @@ func TestRecursiveSpawn(t *testing.T) {
 
 func TestStealsAreSingle(t *testing.T) {
 	s := newTest(t, Options{P: 4})
+	// Spawn in waves until a thief has actually stolen: on a machine with
+	// few hardware threads a single burst can be produced and drained
+	// within the producer's OS timeslice, before any other worker
+	// goroutine gets scheduled at all.
 	s.Run(Func(func(ctx *Ctx) {
-		for i := 0; i < 4000; i++ {
-			ctx.Spawn(Func(func(*Ctx) {
-				x := 0
-				for j := 0; j < 1000; j++ {
-					x += j
-				}
-				_ = x
-			}))
+		for wave := 0; wave < 200 && s.Stats().Steals == 0; wave++ {
+			for i := 0; i < 500; i++ {
+				ctx.Spawn(Func(func(*Ctx) {
+					x := 0
+					for j := 0; j < 1000; j++ {
+						x += j
+					}
+					_ = x
+				}))
+			}
 		}
 	}))
 	st := s.Stats()

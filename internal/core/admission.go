@@ -1,0 +1,223 @@
+package core
+
+import "errors"
+
+// This file implements the admission-control half of the external submission
+// path. Externally spawned tasks no longer share one unbounded FIFO slice:
+// every submission source — each Group, plus one catch-all queue for
+// group-less Scheduler.Spawn — owns a FIFO inject queue, and workers drain
+// the non-empty queues round-robin (takeInjected), so a client flooding its
+// own group cannot starve another group's submissions (group-fair FIFO:
+// strict FIFO within a source, round-robin across sources).
+//
+// Two bounds throttle runaway clients at the inject path, before their tasks
+// ever reach the worker deques: Options.MaxPendingPerGroup caps one source's
+// admitted-but-not-yet-started tasks, Options.MaxInject caps the total
+// across all sources. Blocking submissions (Group.Spawn, SpawnBatch,
+// Scheduler.Spawn) park on a condition variable until room frees up or the
+// scheduler shuts down; non-blocking ones (TrySpawn, TrySpawnBatch) return
+// ErrSaturated instead. Interior spawns (Ctx.Spawn) are never throttled:
+// they are the scheduler's own task-tree growth, not client ingress.
+
+// Typed admission errors, returned by the non-blocking spawn forms.
+var (
+	// ErrSaturated reports that an admission bound (MaxPendingPerGroup or
+	// MaxInject) left no room for the submission.
+	ErrSaturated = errors.New("core: inject queues saturated")
+	// ErrShutdown reports a submission to a shut-down scheduler.
+	ErrShutdown = errors.New("core: scheduler is shut down")
+)
+
+// injectQ is one source's FIFO of admitted but not-yet-started external
+// tasks, and an intrusive node of the scheduler's round-robin ring (a
+// circular doubly-linked list of the non-empty sources, so joining and
+// leaving the rotation is O(1) however many clients submit concurrently).
+// All fields are guarded by Scheduler.admitMu.
+type injectQ struct {
+	ns         []*node
+	head       int      // ns[head:] are pending; ns[:head] already taken
+	active     bool     // linked into the scheduler's round-robin ring
+	next, prev *injectQ // ring links while active
+}
+
+func (q *injectQ) pending() int { return len(q.ns) - q.head }
+
+func (q *injectQ) push(n *node) { q.ns = append(q.ns, n) }
+
+func (q *injectQ) pop() *node {
+	n := q.ns[q.head]
+	q.ns[q.head] = nil // drop the reference; the node may live long
+	q.head++
+	switch {
+	case q.head == len(q.ns):
+		q.ns = q.ns[:0] // empty: reuse the backing array from the start
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.ns):
+		// Compact once the consumed prefix dominates: a queue that
+		// oscillates without ever fully draining (a steadily-refilled group
+		// in a long-lived server) would otherwise grow its backing array by
+		// one retired slot per task ever admitted.
+		q.ns = q.ns[:copy(q.ns, q.ns[q.head:])]
+		q.head = 0
+	}
+	return n
+}
+
+// admitRoom returns how many more nodes q may accept under the configured
+// bounds, at most want. Caller holds admitMu.
+func (s *Scheduler) admitRoom(q *injectQ, want int) int {
+	if m := s.opts.MaxInject; m > 0 {
+		if r := m - int(s.pendingInject); r < want {
+			want = r
+		}
+	}
+	if m := s.opts.MaxPendingPerGroup; m > 0 {
+		if r := m - q.pending(); r < want {
+			want = r
+		}
+	}
+	if want < 0 {
+		want = 0
+	}
+	return want
+}
+
+// enqueueLocked accounts ns in-flight and appends them to q, activating q in
+// the round-robin ring if it was empty. Accounting happens here — at the
+// moment of admission, before any worker can observe the nodes — so neither
+// Wait can see a transient zero while an admitted task tree is still
+// growing, and a never-admitted node (shutdown, ErrSaturated) never inflates
+// the in-flight counts. Caller holds admitMu.
+func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
+	for _, n := range ns {
+		s.account(n)
+		q.push(n)
+	}
+	if !q.active {
+		q.active = true
+		if s.ringHead == nil {
+			q.next, q.prev = q, q
+			s.ringHead = q
+		} else {
+			// Insert at the back of the rotation (just before the head): a
+			// source that drained and refilled waits a full round, so it
+			// cannot camp at the front.
+			tail := s.ringHead.prev
+			tail.next, q.prev = q, tail
+			q.next, s.ringHead.prev = s.ringHead, q
+		}
+		s.ringLen++
+	}
+	s.pendingInject += int64(len(ns))
+	s.admit.Injected.Add(int64(len(ns)))
+	if p := s.pendingInject; p > s.admit.PeakPending.Load() {
+		s.admit.PeakPending.Store(p)
+	}
+}
+
+// admitBlocking admits every node of ns into q in submission order, parking
+// while the bounds leave no room. On shutdown the not-yet-admitted remainder
+// is dropped without having been accounted (spawning on a shut-down
+// scheduler is a documented no-op). Returns the number of admitted nodes.
+// Batches larger than a bound are admitted in chunks as room frees up.
+func (s *Scheduler) admitBlocking(q *injectQ, ns []*node) int {
+	admitted := 0
+	blocked := false
+	s.admitMu.Lock()
+	for admitted < len(ns) {
+		if s.done.Load() {
+			break
+		}
+		k := s.admitRoom(q, len(ns)-admitted)
+		if k == 0 {
+			if !blocked {
+				blocked = true
+				s.admit.BlockedSpawns.Add(1)
+			}
+			s.admitWaiters++
+			s.admitCond.Wait()
+			s.admitWaiters--
+			continue
+		}
+		s.enqueueLocked(q, ns[admitted:admitted+k])
+		admitted += k
+	}
+	s.admitMu.Unlock()
+	return admitted
+}
+
+// admitTry admits the longest prefix of ns that fits without blocking.
+// It returns the number admitted and ErrSaturated if any node was refused,
+// or ErrShutdown (admitting nothing) on a shut-down scheduler.
+func (s *Scheduler) admitTry(q *injectQ, ns []*node) (int, error) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.done.Load() {
+		return 0, ErrShutdown
+	}
+	k := s.admitRoom(q, len(ns))
+	if k > 0 {
+		s.enqueueLocked(q, ns[:k])
+	}
+	if k < len(ns) {
+		s.admit.Rejected.Add(int64(len(ns) - k))
+		return k, ErrSaturated
+	}
+	return k, nil
+}
+
+// takeInjected moves one externally submitted task into w's queues, serving
+// the per-source inject queues round-robin: one node from the current ring
+// position, then advance. A drained queue leaves the ring (and re-enters at
+// the back on its next admission), so sources that keep refilling rotate
+// fairly. Freed room wakes parked blocking spawners.
+func (s *Scheduler) takeInjected(w *worker) bool {
+	s.admitMu.Lock()
+	q := s.ringHead
+	if q == nil {
+		s.admitMu.Unlock()
+		return false
+	}
+	// A parked spawner is blocked on a bound that was exhausted when it last
+	// checked; this take can only unblock it if it crosses that bound's
+	// boundary. Waking on every take would stampede all parked clients per
+	// drained task (the clients ≫ bound regime) when at most one can admit.
+	wake := false
+	if m := s.opts.MaxInject; m > 0 && int(s.pendingInject) == m {
+		wake = true
+	}
+	if m := s.opts.MaxPendingPerGroup; m > 0 && q.pending() == m {
+		wake = true
+	}
+	n := q.pop()
+	if q.pending() == 0 {
+		q.active = false
+		if q.next == q {
+			s.ringHead = nil
+		} else {
+			q.prev.next, q.next.prev = q.next, q.prev
+			s.ringHead = q.next
+		}
+		q.next, q.prev = nil, nil
+		s.ringLen--
+	} else {
+		s.ringHead = q.next // rotate: next source serves the next take
+	}
+	s.pendingInject--
+	s.admit.Taken.Add(1)
+	if wake && s.admitWaiters > 0 {
+		s.admitCond.Broadcast()
+	}
+	s.admitMu.Unlock()
+	w.st.InjectTakes.Add(1)
+	w.pushNode(n)
+	return true
+}
+
+// PendingInjected returns the number of admitted external tasks no worker
+// has started yet, across all sources (racy; for tests and diagnostics).
+func (s *Scheduler) PendingInjected() int64 {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.pendingInject
+}

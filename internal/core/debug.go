@@ -10,11 +10,13 @@ import (
 // with atomics but the combined picture is approximate.
 func (s *Scheduler) DumpState() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "inflight=%d injected=%d\n", s.inflight.Load(), func() int {
-		s.injectMu.Lock()
-		defer s.injectMu.Unlock()
-		return len(s.inject)
-	}())
+	injected, sources := func() (int64, int) {
+		s.admitMu.Lock()
+		defer s.admitMu.Unlock()
+		return s.pendingInject, s.ringLen
+	}()
+	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d\n",
+		s.inflight.Load(), injected, sources)
 	for _, w := range s.workers {
 		r := w.regw.Load()
 		c := w.coordp()

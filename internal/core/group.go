@@ -2,8 +2,6 @@ package core
 
 import (
 	"sync/atomic"
-
-	"repro/internal/backoff"
 )
 
 // Group is a set of tasks with its own quiescence: Wait returns when every
@@ -16,18 +14,27 @@ import (
 // and two clients' groups drain independently instead of waiting on the
 // scheduler's global task count.
 //
+// A Group is also an admission source: its external spawns feed a private
+// FIFO inject queue that workers drain round-robin against the other
+// groups' queues (see admission.go), so one group's submission flood cannot
+// starve another group's, and the optional Options bounds throttle each
+// group at the inject path.
+//
 // A Group is not the same thing as a TaskGroup: a TaskGroup is an
 // in-task fork/join helper whose Wait runs on a worker and helps execute
 // single-threaded children; a Group is an external-facing quiescence domain
 // that may contain team tasks of any width, and its Wait (called from
-// outside the scheduler's workers) backs off rather than helping.
+// outside the scheduler's workers) parks rather than helping.
 //
-// Groups are cheap (one counter) and single-use or reusable at the caller's
-// choice: after Wait returns, more tasks may be spawned into the same group
-// and waited for again. Methods are safe for concurrent use.
+// Groups are cheap (one counter and an inject queue) and single-use or
+// reusable at the caller's choice: after Wait returns, more tasks may be
+// spawned into the same group and waited for again. Methods are safe for
+// concurrent use.
 type Group struct {
 	s        *Scheduler
 	inflight atomic.Int64
+	qz       quiesce // parks Wait on the inflight zero transition
+	iq       injectQ // pending external submissions; guarded by s.admitMu
 }
 
 // NewGroup returns a fresh, empty task group on s.
@@ -38,19 +45,27 @@ func (g *Group) Scheduler() *Scheduler { return g.s }
 
 // Spawn submits t from outside the scheduler as part of the group. Tasks
 // that t spawns via Ctx.Spawn while running join the same group
-// automatically. It is safe for concurrent use. Do not call it from inside
-// a running task of the same scheduler for the common case — Ctx.Spawn is
-// cheaper and preserves depth-first order — but it is safe there too (the
-// task is injected like an external submission).
+// automatically. It is safe for concurrent use.
+//
+// With admission bounds configured (Options.MaxPendingPerGroup/MaxInject),
+// Spawn blocks while the bounds leave no room; a task only counts toward
+// the group's quiescence once admitted. Do not call a potentially blocking
+// Spawn from inside a running task of the same scheduler — a worker parked
+// on admission cannot help drain the very queues it waits on; use Ctx.Spawn
+// (never throttled) or TrySpawn there. On a shut-down scheduler Spawn is a
+// documented no-op: the task is dropped without inflating any in-flight
+// count.
 func (g *Group) Spawn(t Task) {
-	n := g.s.newNode(t, g)
-	g.s.injectNodes(n)
+	g.s.admitBlocking(&g.iq, []*node{g.s.makeNode(t, g)})
 }
 
-// SpawnBatch submits several tasks under a single injection-lock acquisition
-// — the batched form of Spawn for clients enqueueing many requests at once.
-// The whole batch is validated before any task is accounted, so a panic on
-// an invalid task (like Spawn's) leaves no inflight count behind.
+// SpawnBatch submits several tasks under a single admission-lock
+// acquisition — the batched form of Spawn for clients enqueueing many
+// requests at once. The whole batch is validated before any task is
+// accounted, so a panic on an invalid task (like Spawn's) leaves no
+// inflight count behind. Under admission bounds the batch is admitted in
+// FIFO chunks as room frees up (blocking in between); on shutdown the
+// unadmitted remainder is dropped.
 func (g *Group) SpawnBatch(ts []Task) {
 	if len(ts) == 0 {
 		return
@@ -59,26 +74,57 @@ func (g *Group) SpawnBatch(ts []Task) {
 	for i, t := range ts {
 		ns[i] = g.s.makeNode(t, g)
 	}
-	for _, n := range ns {
-		g.s.account(n)
+	g.s.admitBlocking(&g.iq, ns)
+}
+
+// TrySpawn is the non-blocking form of Spawn: it admits t if the admission
+// bounds leave room and returns nil, or returns ErrSaturated (the task is
+// dropped, nothing accounted) when they do not, or ErrShutdown on a
+// shut-down scheduler. It is the safe way to submit from latency-sensitive
+// clients and from inside running tasks.
+func (g *Group) TrySpawn(t Task) error {
+	_, err := g.s.admitTry(&g.iq, []*node{g.s.makeNode(t, g)})
+	return err
+}
+
+// TrySpawnBatch is the non-blocking form of SpawnBatch: it admits the
+// longest prefix of ts that fits under the admission bounds and returns how
+// many tasks were admitted, plus ErrSaturated if any were refused or
+// ErrShutdown (admitting none) on a shut-down scheduler. The whole batch is
+// validated up front, like SpawnBatch.
+func (g *Group) TrySpawnBatch(ts []Task) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
 	}
-	g.s.injectNodes(ns...)
+	ns := make([]*node, len(ts))
+	for i, t := range ts {
+		ns[i] = g.s.makeNode(t, g)
+	}
+	return g.s.admitTry(&g.iq, ns)
 }
 
 // Wait blocks until the group is quiescent: every task spawned into it (and
 // every descendant those tasks spawned) has completed. Other groups' tasks
-// do not delay Wait. Like Scheduler.Wait it must not be called from inside
-// a running task (a worker blocking on external quiescence could deadlock
-// the team protocol); use TaskGroup for in-task joins. If the scheduler is
-// shut down while the group still has tasks, Wait returns early — the
-// tasks are abandoned (see Scheduler.Shutdown) and would never drain.
+// do not delay Wait, and waiters park on a completion notification rather
+// than spinning, so many idle waiting clients cost no CPU. Like
+// Scheduler.Wait it must not be called from inside a running task (a worker
+// blocking on external quiescence could deadlock the team protocol); use
+// TaskGroup for in-task joins. If the scheduler is shut down while the
+// group still has tasks, Wait returns early — the tasks are abandoned (see
+// Scheduler.Shutdown) and would never drain.
 func (g *Group) Wait() {
-	var bo backoff.Backoff
-	for g.inflight.Load() > 0 {
-		if g.s.done.Load() {
-			return // shutdown: abandoned tasks never complete
+	for {
+		if g.inflight.Load() == 0 || g.s.done.Load() {
+			return
 		}
-		bo.Wait()
+		ch := g.qz.gate()
+		if g.inflight.Load() == 0 || g.s.done.Load() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-g.s.doneCh:
+		}
 	}
 }
 
@@ -93,3 +139,12 @@ func (g *Group) Run(t Task) {
 // Pending returns the group's current in-flight task count (racy; for tests
 // and diagnostics).
 func (g *Group) Pending() int64 { return g.inflight.Load() }
+
+// PendingInjected returns the group's admitted external tasks no worker has
+// started yet — the group's inject-queue depth (racy; for tests and
+// diagnostics).
+func (g *Group) PendingInjected() int {
+	g.s.admitMu.Lock()
+	defer g.s.admitMu.Unlock()
+	return g.iq.pending()
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/backoff"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -31,6 +30,16 @@ type Options struct {
 	// StealOne limits every steal to a single task instead of the paper's
 	// min(size/2, 2^ℓ) (ablation knob).
 	StealOne bool
+	// MaxPendingPerGroup bounds the number of admitted-but-not-yet-started
+	// external tasks of one submission source (a Group, or the catch-all
+	// queue of group-less Scheduler.Spawn). A blocking spawn over the bound
+	// parks until workers drain the source's inject queue; TrySpawn returns
+	// ErrSaturated instead. 0 means unbounded.
+	MaxPendingPerGroup int
+	// MaxInject bounds the total admitted-but-not-yet-started external tasks
+	// across all sources — the scheduler-wide backpressure knob for a flood
+	// of concurrent clients. 0 means unbounded.
+	MaxInject int
 }
 
 // Scheduler is a work-stealing scheduler with deterministic team-building.
@@ -42,13 +51,23 @@ type Scheduler struct {
 	workers []*worker
 
 	inflight atomic.Int64 // spawned but not yet completed tasks
+	qz       quiesce      // parks Wait on the inflight zero transition
 	gen      atomic.Uint64
 	done     atomic.Bool
+	doneCh   chan struct{} // closed by Shutdown; wakes parked waiters
 	wg       sync.WaitGroup
 	trace    tracer
 
-	injectMu sync.Mutex
-	inject   []*node
+	// Admission state (see admission.go): per-source inject queues drained
+	// round-robin, with optional bounds exerting backpressure on spawners.
+	admitMu       sync.Mutex
+	admitCond     *sync.Cond // signaled when inject room frees up
+	admitWaiters  int        // spawners parked on admitCond
+	ringHead      *injectQ   // next non-empty source to drain (circular list)
+	ringLen       int        // non-empty sources in the ring (diagnostics)
+	pendingInject int64      // total nodes across all inject queues
+	noGroupQ      injectQ    // source for group-less Scheduler.Spawn
+	admit         stats.Admission
 }
 
 // New starts a scheduler with p workers. The workers idle (with capped
@@ -73,9 +92,11 @@ func build(opts Options) *Scheduler {
 		panic(fmt.Sprintf("core: p = %d exceeds the 16-bit registration fields", opts.P))
 	}
 	s := &Scheduler{
-		opts: opts,
-		topo: topo.New(opts.P),
+		opts:   opts,
+		topo:   topo.New(opts.P),
+		doneCh: make(chan struct{}),
 	}
+	s.admitCond = sync.NewCond(&s.admitMu)
 	s.workers = make([]*worker, opts.P)
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, i)
@@ -102,22 +123,35 @@ func (s *Scheduler) MaxTeam() int { return s.topo.MaxTeam }
 // It is safe for concurrent use. Inside a running task, use Ctx.Spawn
 // instead (it is cheaper and preserves depth-first order); to give the task
 // its own quiescence domain, spawn through a Group instead.
+//
+// With admission bounds configured (Options.MaxPendingPerGroup/MaxInject),
+// Spawn blocks while the bounds leave no room. On a scheduler that has been
+// shut down, Spawn is a no-op: the task is dropped without ever being
+// accounted in-flight (see Shutdown).
 func (s *Scheduler) Spawn(t Task) {
-	s.injectNodes(s.newNode(t, nil))
+	s.admitBlocking(&s.noGroupQ, []*node{s.makeNode(t, nil)})
 }
 
 // Wait blocks until all spawned tasks (and their descendants) have
 // completed — global quiescence across every group. Per-client callers
 // should prefer Group.Wait, which is not delayed by other clients' tasks.
-// If the scheduler is shut down while tasks are outstanding, Wait returns
-// early — the tasks are abandoned (see Shutdown) and would never drain.
+// Waiters park on a completion notification (no busy-waiting, however many
+// clients wait concurrently). If the scheduler is shut down while tasks are
+// outstanding, Wait returns early — the tasks are abandoned (see Shutdown)
+// and would never drain.
 func (s *Scheduler) Wait() {
-	var bo backoff.Backoff
-	for s.inflight.Load() > 0 {
-		if s.done.Load() {
-			return // shutdown: abandoned tasks never complete
+	for {
+		if s.inflight.Load() == 0 || s.done.Load() {
+			return
 		}
-		bo.Wait()
+		ch := s.qz.gate()
+		if s.inflight.Load() == 0 || s.done.Load() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-s.doneCh:
+		}
 	}
 }
 
@@ -131,10 +165,17 @@ func (s *Scheduler) Run(t Task) {
 }
 
 // Shutdown stops all workers. Outstanding tasks are abandoned; call Wait
-// first for a clean drain. Shutdown is idempotent and blocks until all
-// worker goroutines have exited.
+// first for a clean drain. Spawners parked on admission backpressure are
+// woken and their unadmitted tasks dropped; submissions after Shutdown has
+// returned are guaranteed no-ops. Shutdown is idempotent and blocks until
+// all worker goroutines have exited.
 func (s *Scheduler) Shutdown() {
-	s.done.Store(true)
+	if s.done.CompareAndSwap(false, true) {
+		close(s.doneCh)
+		s.admitMu.Lock()
+		s.admitCond.Broadcast()
+		s.admitMu.Unlock()
+	}
 	s.wg.Wait()
 }
 
@@ -155,6 +196,10 @@ func (s *Scheduler) WorkerStats() []stats.Snapshot {
 	}
 	return out
 }
+
+// Admission returns a snapshot of the admission-control counters of the
+// external submission path (see admission.go).
+func (s *Scheduler) Admission() stats.AdmissionSnapshot { return s.admit.Snapshot() }
 
 // Pending returns the current number of in-flight tasks (racy; for tests
 // and diagnostics).
@@ -187,18 +232,13 @@ func (s *Scheduler) account(n *node) {
 	}
 }
 
-// newNode is makeNode + account: the single-task spawn path.
+// newNode is makeNode + account: the interior spawn path (Ctx.Spawn), which
+// bypasses admission — it is the scheduler's own task-tree growth, not
+// client ingress.
 func (s *Scheduler) newNode(t Task, g *Group) *node {
 	n := s.makeNode(t, g)
 	s.account(n)
 	return n
-}
-
-// injectNodes appends externally submitted nodes to the inject list.
-func (s *Scheduler) injectNodes(ns ...*node) {
-	s.injectMu.Lock()
-	s.inject = append(s.inject, ns...)
-	s.injectMu.Unlock()
 }
 
 // taskDone marks one task of group g (nil for group-less tasks) as
@@ -206,27 +246,18 @@ func (s *Scheduler) injectNodes(ns ...*node) {
 // reported, so a group count of zero really means quiescence. The global
 // counter is decremented first: a client returning from Group.Wait (the
 // group count hitting zero) must never observe its own finished tasks
-// still in Scheduler.Pending.
+// still in Scheduler.Pending. A zero transition releases the matching
+// quiescence gate, waking parked waiters.
 func (s *Scheduler) taskDone(g *Group) {
-	s.inflight.Add(-1)
+	if s.inflight.Add(-1) == 0 {
+		s.qz.release()
+	}
 	if g != nil {
-		g.inflight.Add(-1)
+		if g.inflight.Add(-1) == 0 {
+			g.qz.release()
+		}
 	}
 }
 
 // nextGen returns a scheduler-unique generation number for team executions.
 func (s *Scheduler) nextGen() uint64 { return s.gen.Add(1) }
-
-// takeInjected moves one externally submitted task into w's queues.
-func (s *Scheduler) takeInjected(w *worker) bool {
-	s.injectMu.Lock()
-	if len(s.inject) == 0 {
-		s.injectMu.Unlock()
-		return false
-	}
-	n := s.inject[0]
-	s.inject = s.inject[1:]
-	s.injectMu.Unlock()
-	w.pushNode(n)
-	return true
-}

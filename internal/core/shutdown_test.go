@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -27,6 +29,71 @@ func TestShutdownWithPendingWork(t *testing.T) {
 	case <-done:
 	case <-time.After(15 * time.Second):
 		t.Fatalf("Shutdown hung with pending work:\n%s", s.DumpState())
+	}
+}
+
+// TestSpawnAfterShutdownIsNoOp pins the documented spawn-after-Shutdown
+// semantics: submissions to a shut-down scheduler are dropped without ever
+// being accounted, so they cannot inflate the inflight counters (which
+// would make a later diagnostic Pending() read nonzero forever), and the
+// non-blocking forms report ErrShutdown. Runs under the race gate: the
+// spawns race nothing, but the test documents the memory-visibility
+// contract (Shutdown returning happens-before the no-op guarantee).
+func TestSpawnAfterShutdownIsNoOp(t *testing.T) {
+	s := New(Options{P: 2})
+	g := s.NewGroup()
+	s.Shutdown()
+
+	s.Spawn(Solo(func(*Ctx) { t.Error("ran a task spawned after Shutdown") }))
+	g.Spawn(Solo(func(*Ctx) { t.Error("ran a group task spawned after Shutdown") }))
+	g.SpawnBatch([]Task{Solo(func(*Ctx) { t.Error("ran a batch task spawned after Shutdown") })})
+	if err := g.TrySpawn(Solo(func(*Ctx) {})); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("TrySpawn after Shutdown: err = %v, want ErrShutdown", err)
+	}
+	if n, err := g.TrySpawnBatch([]Task{Solo(func(*Ctx) {})}); n != 0 || !errors.Is(err, ErrShutdown) {
+		t.Fatalf("TrySpawnBatch after Shutdown = (%d, %v), want (0, ErrShutdown)", n, err)
+	}
+
+	if p := s.Pending(); p != 0 {
+		t.Fatalf("Pending = %d after post-Shutdown spawns, want 0", p)
+	}
+	if p := g.Pending(); p != 0 {
+		t.Fatalf("group Pending = %d after post-Shutdown spawns, want 0", p)
+	}
+	if snap := s.Admission(); snap.Injected != 0 {
+		t.Fatalf("post-Shutdown spawn was admitted: %v", snap)
+	}
+	g.Wait() // returns immediately: nothing was accounted
+	s.Wait()
+}
+
+// TestSpawnRacingShutdown floods spawns from several goroutines while
+// Shutdown runs concurrently. Any individual spawn may be admitted or
+// dropped, but the accounting must stay consistent: tasks that ran were
+// admitted, and nothing hangs. Exercised under -race by the check gate.
+func TestSpawnRacingShutdown(t *testing.T) {
+	s := New(Options{P: 4, MaxInject: 8})
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := s.NewGroup()
+			for i := 0; i < 200; i++ {
+				g.Spawn(Solo(func(*Ctx) { ran.Add(1) }))
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Shutdown()
+	wg.Wait() // no spawner may stay parked after Shutdown
+	snap := s.Admission()
+	if snap.PeakPending > 8 {
+		t.Fatalf("PeakPending = %d exceeds MaxInject during shutdown race", snap.PeakPending)
+	}
+	if ran.Load() > snap.Injected {
+		t.Fatalf("ran %d tasks but only %d were admitted", ran.Load(), snap.Injected)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -94,6 +95,48 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	sort.Strings(names)
 	return 0, fmt.Errorf("harness: unknown algorithm %q (want one of %s)",
 		s, strings.Join(names, "|"))
+}
+
+// ParseAlgorithms resolves a comma-separated list of algorithm column
+// names — the shared -algos flag parser of the command-line harnesses.
+func ParseAlgorithms(csv string) ([]Algorithm, error) {
+	var out []Algorithm
+	for _, f := range strings.Split(csv, ",") {
+		a, err := ParseAlgorithm(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ParseSizes parses a comma-separated list of positive element counts —
+// the shared -sizes flag parser of the command-line harnesses.
+func ParseSizes(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("harness: bad size %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseKinds parses a comma-separated list of input distribution names —
+// the shared -dists flag parser of the command-line harnesses.
+func ParseKinds(csv string) ([]dist.Kind, error) {
+	var out []dist.Kind
+	for _, f := range strings.Split(csv, ",") {
+		k, err := dist.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // Config describes one table's experiment grid.

@@ -57,12 +57,21 @@ func Sort[T qsort.Ordered](s *core.Scheduler, data []T, opt Options) {
 // child sorts and the merges they trigger through childDone — inherits g,
 // so the group drains exactly when the root merge has been written.
 func SortGroup[T qsort.Ordered](g *core.Group, data []T, opt Options) {
+	if t := Root(data, opt); t != nil {
+		g.Spawn(t)
+	}
+}
+
+// Root returns the root task of the mixed-mode merge sort over data, for
+// batched submission (Group.SpawnBatch / the runtime's batched sorts). It
+// returns nil when there is nothing to sort.
+func Root[T qsort.Ordered](data []T, opt Options) core.Task {
 	opt = opt.withDefaults()
 	if len(data) < 2 {
-		return
+		return nil
 	}
 	tmp := make([]T, len(data))
-	g.Spawn(sortTask(data, tmp, false, nil, opt))
+	return sortTask(data, tmp, false, nil, opt)
 }
 
 // bestNp mirrors the Quicksort's getBestNp for merge steps.

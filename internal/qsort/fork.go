@@ -33,13 +33,23 @@ func ForkJoinCore[T Ordered](s *core.Scheduler, data []T, cutoff int) {
 // a client may spawn several sorts (and any other tasks) into one group
 // and join them all with a single Wait.
 func ForkJoinGroup[T Ordered](g *core.Group, data []T, cutoff int) {
+	if t := ForkJoinRoot(data, cutoff); t != nil {
+		g.Spawn(t)
+	}
+}
+
+// ForkJoinRoot returns the root task of the task-parallel quicksort over
+// data, for batched submission (Group.SpawnBatch amortizes one admission-
+// lock acquisition over many such roots). It returns nil when there is
+// nothing to sort (len(data) < 2).
+func ForkJoinRoot[T Ordered](data []T, cutoff int) core.Task {
 	if cutoff < 2 {
 		cutoff = DefaultCutoff
 	}
 	if len(data) < 2 {
-		return
+		return nil
 	}
-	g.Spawn(core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) }))
+	return core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) })
 }
 
 // ForkCtx runs the task-parallel quicksort of Algorithm 10 from inside a

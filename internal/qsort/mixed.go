@@ -68,17 +68,25 @@ func MixedMode[T Ordered](s *core.Scheduler, data []T, opt MMOptions) {
 // g.Wait() observes the group's quiescence. All recursive subtasks
 // (including fork-join fallbacks) inherit g.
 func MixedModeGroup[T Ordered](g *core.Group, data []T, opt MMOptions) {
+	if t := MixedModeRoot(g.Scheduler().MaxTeam(), data, opt); t != nil {
+		g.Spawn(t)
+	}
+}
+
+// MixedModeRoot returns the root task of the mixed-mode quicksort over
+// data, for batched submission; maxTeam is the target scheduler's
+// Scheduler.MaxTeam(). It returns nil when there is nothing to sort.
+func MixedModeRoot[T Ordered](maxTeam int, data []T, opt MMOptions) core.Task {
 	opt = opt.withDefaults()
 	if len(data) < 2 {
-		return
+		return nil
 	}
-	np := BestNp(len(data), opt.BlockSize, opt.MinBlocksPerThread, g.Scheduler().MaxTeam())
+	np := BestNp(len(data), opt.BlockSize, opt.MinBlocksPerThread, maxTeam)
 	if np == 1 {
 		// Algorithm 11 line 1: "if np = 1 then return qsort(data, n)".
-		ForkJoinGroup(g, data, opt.Cutoff)
-		return
+		return ForkJoinRoot(data, opt.Cutoff)
 	}
-	g.Spawn(newMMTask(data, np, opt))
+	return newMMTask(data, np, opt)
 }
 
 // mmTask is one mixed-mode quicksort task: a data-parallel partitioning of

@@ -98,20 +98,28 @@ func Sort[T qsort.Ordered](s *core.Scheduler, data []T, opt Options) {
 // g.Wait() observes the group's quiescence. All bucket recursion subtasks
 // inherit g.
 func SortGroup[T qsort.Ordered](g *core.Group, data []T, opt Options) {
+	if t := Root(g.Scheduler().MaxTeam(), data, opt); t != nil {
+		g.Spawn(t)
+	}
+}
+
+// Root returns the root task of the mixed-mode samplesort over data, for
+// batched submission; maxTeam is the target scheduler's
+// Scheduler.MaxTeam(). It returns nil when there is nothing to sort.
+func Root[T qsort.Ordered](maxTeam int, data []T, opt Options) core.Task {
 	opt = opt.withDefaults()
 	n := len(data)
 	if n < 2 {
-		return
+		return nil
 	}
-	np := bestNp(n, opt.MinPerThread, g.Scheduler().MaxTeam())
+	np := bestNp(n, opt.MinPerThread, maxTeam)
 	if np == 1 {
 		// Too small for a team: the task-parallel quicksort is the
 		// degenerate samplesort (every element its own bucket recursion).
-		qsort.ForkJoinGroup(g, data, opt.Cutoff)
-		return
+		return qsort.ForkJoinRoot(data, opt.Cutoff)
 	}
 	scratch := make([]T, n)
-	g.Spawn(newTask(data, scratch, np, opt))
+	return newTask(data, scratch, np, opt)
 }
 
 // task is one samplesort team task over data; scratch is a disjoint buffer

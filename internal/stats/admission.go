@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Admission holds the scheduler-level counters of the admission-controlled
+// external submission path (internal/core's per-group inject queues with
+// optional backpressure bounds). One instance is owned by the scheduler;
+// counters are written under the admission lock but read concurrently, so
+// all fields are atomic.
+type Admission struct {
+	Injected      atomic.Int64 // external tasks admitted into inject queues
+	Taken         atomic.Int64 // admitted tasks moved onto worker queues
+	Rejected      atomic.Int64 // tasks refused by a non-blocking spawn (ErrSaturated)
+	BlockedSpawns atomic.Int64 // blocking spawn calls that had to park for room
+	PeakPending   atomic.Int64 // high-water mark of pending injected tasks
+}
+
+// AdmissionSnapshot is a plain-value copy of the admission counters.
+// Pending is derived: tasks admitted but not yet taken by a worker (tasks
+// abandoned in the queues by Shutdown remain counted).
+type AdmissionSnapshot struct {
+	Injected      int64
+	Taken         int64
+	Pending       int64
+	Rejected      int64
+	BlockedSpawns int64
+	PeakPending   int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual loads
+// are atomic; the set is not a single atomic snapshot).
+func (a *Admission) Snapshot() AdmissionSnapshot {
+	inj, tk := a.Injected.Load(), a.Taken.Load()
+	return AdmissionSnapshot{
+		Injected:      inj,
+		Taken:         tk,
+		Pending:       inj - tk,
+		Rejected:      a.Rejected.Load(),
+		BlockedSpawns: a.BlockedSpawns.Load(),
+		PeakPending:   a.PeakPending.Load(),
+	}
+}
+
+// String renders the snapshot on one line.
+func (s AdmissionSnapshot) String() string {
+	return fmt.Sprintf("injected=%d taken=%d pending=%d rejected=%d blocked=%d peak_pending=%d",
+		s.Injected, s.Taken, s.Pending, s.Rejected, s.BlockedSpawns, s.PeakPending)
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -66,4 +67,79 @@ func TestSamplePercentileOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	s.Percentile(101)
+}
+
+// oracleRank is the brute-force nearest-rank oracle: the smallest 1-based
+// rank k whose cumulative share k·100 reaches the once-rounded threshold
+// p·n, found by linear scan with the exact same predicate Percentile must
+// honor. This is the definition; Percentile's ceil-plus-fixup must agree on
+// every input.
+func oracleRank(p float64, n int) int {
+	t := p * float64(n)
+	for k := 1; k < n; k++ {
+		if float64(k)*100 >= t {
+			return k
+		}
+	}
+	return n
+}
+
+// TestPercentileMatchesOracle is the property test of the nearest-rank
+// computation over adversarial (p, n) pairs: for every n up to 256 it
+// probes each exact boundary p = 100·k/n and its float64 neighbors (the
+// inputs on which truncate-and-compare ceil emulations go off by one), plus
+// a sweep of non-boundary percentiles.
+func TestPercentileMatchesOracle(t *testing.T) {
+	for n := 1; n <= 256; n++ {
+		var s Sample
+		for i := 1; i <= n; i++ {
+			s.Add(float64(i)) // vs[k-1] == k: the rank is its own witness
+		}
+		check := func(p float64) {
+			t.Helper()
+			if p < 0 || p > 100 {
+				return
+			}
+			want := float64(oracleRank(p, n))
+			if got := s.Percentile(p); got != want {
+				t.Fatalf("n=%d p=%v: Percentile = %v, oracle rank = %v", n, p, got, want)
+			}
+		}
+		for k := 0; k <= n; k++ {
+			p := 100 * float64(k) / float64(n)
+			check(p)
+			check(math.Nextafter(p, 0))
+			check(math.Nextafter(p, 200))
+		}
+		for p := 0.0; p <= 100; p += 100.0 / 7 {
+			check(p)
+		}
+		check(100)
+	}
+}
+
+// FuzzPercentile fuzzes Percentile against the oracle on arbitrary (p, n)
+// and checks the boundary contracts (p=0 min, p=100 max, out-of-range
+// panic is covered by the unit tests).
+func FuzzPercentile(f *testing.F) {
+	f.Add(50.0, uint16(5))
+	f.Add(99.999999999999, uint16(1000))
+	f.Add(100*3.0/7.0, uint16(7))
+	f.Fuzz(func(t *testing.T, p float64, nn uint16) {
+		n := 1 + int(nn)%2048
+		if math.IsNaN(p) || p < 0 || p > 100 {
+			return
+		}
+		var s Sample
+		for i := 1; i <= n; i++ {
+			s.Add(float64(i))
+		}
+		want := float64(oracleRank(p, n))
+		if got := s.Percentile(p); got != want {
+			t.Fatalf("n=%d p=%v: Percentile = %v, oracle rank = %v", n, p, got, want)
+		}
+		if s.Percentile(0) != 1 || s.Percentile(100) != float64(n) {
+			t.Fatal("p=0/p=100 must be min/max")
+		}
+	})
 }

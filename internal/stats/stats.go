@@ -31,8 +31,9 @@ type Worker struct {
 	CASFailures     atomic.Int64 // failed CAS on a registration word
 	Backoffs        atomic.Int64 // backoff waits
 	Polls           atomic.Int64 // pollPartners invocations
+	InjectTakes     atomic.Int64 // tasks taken from the inject queues
 
-	_ [7]int64 // pad to reduce false sharing
+	_ [6]int64 // pad to reduce false sharing
 }
 
 // Snapshot is a plain-value copy of a Worker's counters.
@@ -41,7 +42,7 @@ type Snapshot struct {
 	Spawns, Steals, TasksStolen, StealAttempts        int64
 	FailedAttempts, Registrations, Deregistrations    int64
 	Revocations, ConflictsLost, CASFailures, Backoffs int64
-	Polls                                             int64
+	Polls, InjectTakes                                int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual loads
@@ -64,6 +65,7 @@ func (w *Worker) Snapshot() Snapshot {
 		CASFailures:     w.CASFailures.Load(),
 		Backoffs:        w.Backoffs.Load(),
 		Polls:           w.Polls.Load(),
+		InjectTakes:     w.InjectTakes.Load(),
 	}
 }
 
@@ -85,16 +87,17 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.CASFailures += o.CASFailures
 	s.Backoffs += o.Backoffs
 	s.Polls += o.Polls
+	s.InjectTakes += o.InjectTakes
 }
 
 // String renders the snapshot on one line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d team_tasks=%d teams=%d coord=%d spawns=%d steals=%d stolen=%d attempts=%d failed=%d reg=%d dereg=%d revoked=%d conflicts=%d cas_fail=%d backoffs=%d polls=%d",
+		"tasks=%d team_tasks=%d teams=%d coord=%d spawns=%d steals=%d stolen=%d attempts=%d failed=%d reg=%d dereg=%d revoked=%d conflicts=%d cas_fail=%d backoffs=%d polls=%d inject_takes=%d",
 		s.TasksRun, s.TeamTasksRun, s.TeamsFormed, s.TeamsCoordd, s.Spawns,
 		s.Steals, s.TasksStolen, s.StealAttempts, s.FailedAttempts,
 		s.Registrations, s.Deregistrations, s.Revocations, s.ConflictsLost,
-		s.CASFailures, s.Backoffs, s.Polls)
+		s.CASFailures, s.Backoffs, s.Polls, s.InjectTakes)
 }
 
 // Sum aggregates the snapshots of all workers.

@@ -63,6 +63,21 @@ type Group = core.Group
 // SchedStats is the aggregate counter snapshot of a scheduler.
 type SchedStats = stats.Snapshot
 
+// AdmissionStats is the snapshot of a scheduler's admission-control
+// counters (Scheduler.Admission): the bounded inject path's injected /
+// taken / rejected / blocked / peak-pending accounting.
+type AdmissionStats = stats.AdmissionSnapshot
+
+// Admission errors of the non-blocking spawn forms (Group.TrySpawn,
+// Group.TrySpawnBatch) on a scheduler with Options.MaxPendingPerGroup or
+// Options.MaxInject configured.
+var (
+	// ErrSaturated reports that the admission bounds left no room.
+	ErrSaturated = core.ErrSaturated
+	// ErrShutdown reports a submission to a shut-down scheduler.
+	ErrShutdown = core.ErrShutdown
+)
+
 // NewScheduler starts a scheduler with opts.P workers (default NumCPU).
 func NewScheduler(opts Options) *Scheduler { return core.New(opts) }
 

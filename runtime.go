@@ -77,3 +77,73 @@ func (r *Runtime[T]) SortSamplesort(data []T, opt SSOptions) {
 func (r *Runtime[T]) SortMergeMixedMode(data []T, opt MSOptions) {
 	msort.Sort(r.s, data, opt)
 }
+
+// SortAlgo selects the algorithm of one SortMany request. The zero value is
+// the paper's mixed-mode quicksort.
+type SortAlgo int
+
+const (
+	// AlgoMixedMode is the mixed-mode parallel quicksort (Algorithm 11).
+	AlgoMixedMode SortAlgo = iota
+	// AlgoForkJoin is the task-parallel quicksort (Algorithm 10).
+	AlgoForkJoin
+	// AlgoSamplesort is the mixed-mode parallel samplesort.
+	AlgoSamplesort
+	// AlgoMergeMixedMode is the mixed-mode parallel merge sort.
+	AlgoMergeMixedMode
+)
+
+// SortRequest is one sort of a SortMany batch: the slice to sort and the
+// algorithm to sort it with.
+type SortRequest[T Ordered] struct {
+	Data []T
+	Algo SortAlgo
+}
+
+// BatchOptions carries the per-algorithm tunables of a SortMany batch; the
+// zero value selects every algorithm's defaults.
+type BatchOptions struct {
+	MM MMOptions
+	SS SSOptions
+	MS MSOptions
+	// Cutoff is the sequential cutoff of AlgoForkJoin requests (0 selects
+	// the default; the mixed-mode algorithms carry theirs in MM/SS/MS).
+	Cutoff int
+}
+
+// SortMany sorts every request of the batch concurrently on the shared
+// scheduler and blocks until all of them are sorted. The whole batch runs
+// as ONE quiescence group whose root tasks are submitted with a single
+// Group.SpawnBatch — one admission-lock acquisition however many requests
+// the batch carries — so a client aggregating many small sort requests
+// amortizes the injection cost that per-call Sort* methods pay per request.
+// Under admission bounds (Options.MaxPendingPerGroup/MaxInject) the batch
+// is throttled like any other group and may block until room frees up.
+// Concurrent SortMany calls (and concurrent Sort* calls) proceed
+// independently.
+func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
+	maxTeam := r.s.MaxTeam()
+	ts := make([]core.Task, 0, len(reqs))
+	for _, rq := range reqs {
+		var t core.Task
+		switch rq.Algo {
+		case AlgoForkJoin:
+			t = qsort.ForkJoinRoot(rq.Data, opt.Cutoff)
+		case AlgoSamplesort:
+			t = ssort.Root(maxTeam, rq.Data, opt.SS)
+		case AlgoMergeMixedMode:
+			t = msort.Root(rq.Data, opt.MS)
+		default:
+			t = qsort.MixedModeRoot(maxTeam, rq.Data, opt.MM)
+		}
+		if t != nil { // nil: nothing to sort (len < 2)
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 0 {
+		return
+	}
+	g := r.s.NewGroup()
+	g.SpawnBatch(ts)
+	g.Wait()
+}

@@ -15,22 +15,33 @@ set -euo pipefail
 #                 1x, which also selects a tiny throughput run)
 #   OUTDIR        output directory for the JSON files (default repo root)
 #   TP_CLIENTS    throughput harness client count (default 8)
-#   TP_DURATION   throughput harness measurement duration (default 3s)
+#   TP_DURATION   throughput harness measurement duration (default 3s;
+#                 per sweep point in full mode)
+#   TP_SWEEP      full mode only: clients×p sweep list recording the
+#                 saturation knee (default 1,2,4,8,16; empty disables)
+#   TP_MAXINJECT  admission bound (Options.MaxInject) so the trajectory
+#                 records backpressure counters (default 32; 0 unbounded)
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-1s}
 OUTDIR=${OUTDIR:-.}
 
-TP_ARGS=()
+TP_MAXINJECT=${TP_MAXINJECT:-32}
+TP_ARGS=(-max-inject "${TP_MAXINJECT}")
 if [[ "${BENCHTIME}" == "1x" ]]; then
-  # Smoke mode: one tiny mix, just enough to prove the harness end to end.
+  # Smoke mode: one tiny mix, just enough to prove the harness (including
+  # the admission counters) end to end.
   TP_CLIENTS=${TP_CLIENTS:-4}
   TP_DURATION=${TP_DURATION:-300ms}
-  TP_ARGS=(-sizes 65536 -dists random,staggered)
+  TP_ARGS+=(-sizes 65536 -dists random,staggered)
 else
   TP_CLIENTS=${TP_CLIENTS:-8}
   TP_DURATION=${TP_DURATION:-3s}
+  TP_SWEEP=${TP_SWEEP:-1,2,4,8,16}
+  if [[ -n "${TP_SWEEP}" ]]; then
+    TP_ARGS+=(-sweep "${TP_SWEEP}")
+  fi
 fi
 
 echo "bench: primitives (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_par.json"

@@ -22,8 +22,16 @@ go vet ./...
 echo "check: go test ./..."
 go test ./...
 
+# The race list covers the admission-control and quiescence tests: the
+# whitebox/flood admission tests and spawn-vs-shutdown races live in
+# ./internal/core, the Runtime-level bounded-flood and SortMany tests in
+# the root package.
 echo "check: go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort"
 go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort
+
+echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
+go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
+  -sizes 65536 -dists random -algos mmpar,fork > /dev/null
 
 echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
 BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh

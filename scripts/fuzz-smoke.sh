@@ -16,7 +16,10 @@ failures=0
 fuzzRegex='^func[[:space:]]+Fuzz[A-Za-z0-9_]+'
 missing=()
 
-fuzzDirs=(internal/core internal/dist internal/par)
+# internal/core carries FuzzGroup (per-group quiescence) and FuzzAdmission
+# (bounded inject queues: fairness + bound invariants under random floods);
+# internal/stats carries FuzzPercentile (nearest-rank vs brute-force oracle).
+fuzzDirs=(internal/core internal/dist internal/par internal/stats)
 
 for dir in "${fuzzDirs[@]}"; do
   if ! grep -rEn --include='*_test.go' "${fuzzRegex}" "${dir}" >/dev/null 2>&1; then
