@@ -67,7 +67,7 @@ func (q *injectQ) pop() *node {
 // bounds, at most want. Caller holds admitMu.
 func (s *Scheduler) admitRoom(q *injectQ, want int) int {
 	if m := s.opts.MaxInject; m > 0 {
-		if r := m - int(s.pendingInject); r < want {
+		if r := m - int(s.pendingInject.Load()); r < want {
 			want = r
 		}
 	}
@@ -87,10 +87,16 @@ func (s *Scheduler) admitRoom(q *injectQ, want int) int {
 // moment of admission, before any worker can observe the nodes — so neither
 // Wait can see a transient zero while an admitted task tree is still
 // growing, and a never-admitted node (shutdown, ErrSaturated) never inflates
-// the in-flight counts. Caller holds admitMu.
+// the in-flight counts. The global count lands on the external in-flight
+// shard (all nodes of one call share the source, so one batched add
+// suffices); the group count is the group's own padded atomic. Caller holds
+// admitMu.
 func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
+	s.extInflightAdd(int64(len(ns)))
+	if g := ns[0].group; g != nil {
+		g.inflight.Add(int64(len(ns)))
+	}
 	for _, n := range ns {
-		s.account(n)
 		q.push(n)
 	}
 	if !q.active {
@@ -108,9 +114,9 @@ func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
 		}
 		s.ringLen++
 	}
-	s.pendingInject += int64(len(ns))
+	p := s.pendingInject.Add(int64(len(ns)))
 	s.admit.Injected.Add(int64(len(ns)))
-	if p := s.pendingInject; p > s.admit.PeakPending.Load() {
+	if p > s.admit.PeakPending.Load() {
 		s.admit.PeakPending.Store(p)
 	}
 }
@@ -143,6 +149,9 @@ func (s *Scheduler) admitBlocking(q *injectQ, ns []*node) int {
 		admitted += k
 	}
 	s.admitMu.Unlock()
+	for _, n := range ns[admitted:] {
+		putNodeShared(n) // dropped on shutdown: never accounted, never published
+	}
 	return admitted
 }
 
@@ -151,19 +160,25 @@ func (s *Scheduler) admitBlocking(q *injectQ, ns []*node) int {
 // or ErrShutdown (admitting nothing) on a shut-down scheduler.
 func (s *Scheduler) admitTry(q *injectQ, ns []*node) (int, error) {
 	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
+	var err error
+	k := 0
 	if s.done.Load() {
-		return 0, ErrShutdown
+		err = ErrShutdown
+	} else {
+		k = s.admitRoom(q, len(ns))
+		if k > 0 {
+			s.enqueueLocked(q, ns[:k])
+		}
+		if k < len(ns) {
+			s.admit.Rejected.Add(int64(len(ns) - k))
+			err = ErrSaturated
+		}
 	}
-	k := s.admitRoom(q, len(ns))
-	if k > 0 {
-		s.enqueueLocked(q, ns[:k])
+	s.admitMu.Unlock()
+	for _, n := range ns[k:] {
+		putNodeShared(n) // refused: never accounted, never published
 	}
-	if k < len(ns) {
-		s.admit.Rejected.Add(int64(len(ns) - k))
-		return k, ErrSaturated
-	}
-	return k, nil
+	return k, err
 }
 
 // takeInjected moves one externally submitted task into w's queues, serving
@@ -171,10 +186,20 @@ func (s *Scheduler) admitTry(q *injectQ, ns []*node) (int, error) {
 // position, then advance. A drained queue leaves the ring (and re-enters at
 // the back on its next admission), so sources that keep refilling rotate
 // fairly. Freed room wakes parked blocking spawners.
+//
+// The empty case is the hot one: every idle coordinator polls here each
+// loop iteration, so a scheduler with no external work must not serialize
+// its workers on admitMu. One lock-free atomic load answers "is there
+// anything at all?"; the lock is taken only when work (probably) exists.
 func (s *Scheduler) takeInjected(w *worker) bool {
+	if s.pendingInject.Load() == 0 {
+		return false
+	}
 	s.admitMu.Lock()
 	q := s.ringHead
 	if q == nil {
+		// The pending count was stale: another worker drained the queues
+		// between our load and the lock.
 		s.admitMu.Unlock()
 		return false
 	}
@@ -183,7 +208,7 @@ func (s *Scheduler) takeInjected(w *worker) bool {
 	// boundary. Waking on every take would stampede all parked clients per
 	// drained task (the clients ≫ bound regime) when at most one can admit.
 	wake := false
-	if m := s.opts.MaxInject; m > 0 && int(s.pendingInject) == m {
+	if m := s.opts.MaxInject; m > 0 && int(s.pendingInject.Load()) == m {
 		wake = true
 	}
 	if m := s.opts.MaxPendingPerGroup; m > 0 && q.pending() == m {
@@ -203,7 +228,7 @@ func (s *Scheduler) takeInjected(w *worker) bool {
 	} else {
 		s.ringHead = q.next // rotate: next source serves the next take
 	}
-	s.pendingInject--
+	s.pendingInject.Add(-1)
 	s.admit.Taken.Add(1)
 	if wake && s.admitWaiters > 0 {
 		s.admitCond.Broadcast()
@@ -217,7 +242,5 @@ func (s *Scheduler) takeInjected(w *worker) bool {
 // PendingInjected returns the number of admitted external tasks no worker
 // has started yet, across all sources (racy; for tests and diagnostics).
 func (s *Scheduler) PendingInjected() int64 {
-	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
-	return s.pendingInject
+	return s.pendingInject.Load()
 }

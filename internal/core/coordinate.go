@@ -218,12 +218,13 @@ func (w *worker) publishAndRun(lvl, target int) {
 		barrier:  teamsync.NewBarrier(n.r),
 	}
 	exec.started.Store(int32(target - 1))
-	exec.done.Store(int32(n.r))
+	exec.done.Store(int32(exec.width))
+	w.freeNode(n) // content copied into exec; recycle before running
 	w.lastGen = exec.gen
 	w.cur.Store(exec)
 	w.ev(evPublish, w.id, target, int(exec.gen))
 	w.st.TeamsFormed.Add(1)
-	if lid := topo.LocalID(w.id, w.id, target); lid < n.r {
+	if lid := topo.LocalID(w.id, w.id, target); lid < exec.width {
 		w.runTeamPart(exec, lid)
 	}
 	// Wait until all team members observed this execution (the countdown G
@@ -237,7 +238,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 	w.cur.Store(nil)
 	w.ev(evExecDone, w.id, target, int(exec.gen))
 	w.bo.Reset()
-	s.taskDone(n.group)
+	w.taskDone(exec.group)
 	if s.opts.DisableTeamReuse {
 		w.dropCoordination(w.regw.Load())
 	}

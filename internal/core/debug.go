@@ -13,10 +13,10 @@ func (s *Scheduler) DumpState() string {
 	injected, sources := func() (int64, int) {
 		s.admitMu.Lock()
 		defer s.admitMu.Unlock()
-		return s.pendingInject, s.ringLen
+		return s.pendingInject.Load(), s.ringLen
 	}()
 	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d\n",
-		s.inflight.Load(), injected, sources)
+		s.inflightSum(), injected, sources)
 	for _, w := range s.workers {
 		r := w.regw.Load()
 		c := w.coordp()

@@ -31,10 +31,21 @@ import (
 // spawned into the same group and waited for again. Methods are safe for
 // concurrent use.
 type Group struct {
-	s        *Scheduler
+	s *Scheduler
+
+	// inflight is the group's task count, updated by every completion of a
+	// task in the group. Unlike the scheduler-global count it stays a single
+	// atomic — groups are per-client, not per-task-tree-node, so the
+	// contention is bounded by one client's parallelism — but it gets its
+	// own cache line: a group counter sharing a line with the scheduler
+	// pointer (or a neighboring group in client-side slices of Groups)
+	// would put every completion's RMW on a line other CPUs read.
+	_        [56]byte
 	inflight atomic.Int64
-	qz       quiesce // parks Wait on the inflight zero transition
-	iq       injectQ // pending external submissions; guarded by s.admitMu
+	_        [56]byte
+
+	qz quiesce // parks Wait on the inflight zero transition
+	iq injectQ // pending external submissions; guarded by s.admitMu
 }
 
 // NewGroup returns a fresh, empty task group on s.

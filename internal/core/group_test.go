@@ -226,10 +226,15 @@ func TestGroupInterleavedLifecycles(t *testing.T) {
 	if s.Pending() != 0 {
 		t.Fatalf("global pending = %d", s.Pending())
 	}
+	// Every solo task ran exactly once and entered the queues exactly once:
+	// the injected roots as inject takes, the interior children as spawns
+	// (steal transfers move queued nodes without re-counting them).
 	st := s.Stats()
-	if st.TasksRun != want || st.Spawns != want {
-		t.Fatalf("counters inconsistent: TasksRun=%d Spawns=%d want %d",
-			st.TasksRun, st.Spawns, want)
+	wantSpawns := int64(groups * rounds * roots * kids)
+	wantTakes := int64(groups * rounds * roots)
+	if st.TasksRun != want || st.Spawns != wantSpawns || st.InjectTakes != wantTakes {
+		t.Fatalf("counters inconsistent: TasksRun=%d Spawns=%d InjectTakes=%d, want %d %d %d",
+			st.TasksRun, st.Spawns, st.InjectTakes, want, wantSpawns, wantTakes)
 	}
 }
 

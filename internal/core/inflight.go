@@ -1,0 +1,103 @@
+package core
+
+import "sync/atomic"
+
+// Sharded in-flight accounting.
+//
+// The scheduler used to keep one global atomic task counter, touched twice
+// per task (spawn increment, completion decrement). Under millions of
+// fine-grained r = 1 tasks that one cache line is written by every worker on
+// every task — a per-task cost far above the "single extra CAS per team
+// join" the paper budgets for the whole team protocol, and the analogue of
+// the per-operation locking the Chase–Lev deque removes from the steal path.
+//
+// Instead, every worker owns one cache-line-padded shard and records its own
+// spawns (+1) and completions (−1) there; a task stolen by another worker is
+// incremented on the spawner's shard and decremented on the runner's, so
+// individual shards roam negative and only the sum is meaningful. External
+// submissions (admission path, serialized by admitMu) use one extra shard.
+// Steady-state interior tasks therefore write only lines owned by their own
+// core: the hot path has no globally shared write at all.
+//
+// Quiescence (the sum reaching zero) is detected by a two-phase sum-scan
+// validated against per-shard generation stamps, and only when a waiter is
+// actually parked (quiesce.armed): each shard update is bracketed by two
+// stamp increments (odd while in progress, seqlock-style), so a scan whose
+// stamp total is identical before and after summing — with no odd stamp
+// seen — observed every shard value simultaneously at some instant between
+// the two passes. A validated zero sum therefore still means true
+// quiescence, exactly the invariant Scheduler.Wait relies on.
+//
+// Liveness: if a scan is invalidated by a concurrent update, that update's
+// own completion (or the completion of the work it spawned) re-runs the
+// armed check after finishing its shard write. The chronologically last
+// completion scan starts after every shard update has finished, sees stable
+// stamps, and releases the gate — no zero transition is ever missed.
+
+// inflightShard is one worker's slice of the global in-flight count. The
+// padding keeps adjacent shards on separate cache lines, so the owner's
+// stores never invalidate another worker's line.
+type inflightShard struct {
+	count atomic.Int64  // spawns minus completions recorded by the owner
+	stamp atomic.Uint64 // update generation: odd while an update is in flight
+	_     [112]byte     // pad the struct to two cache lines
+}
+
+// inflightAdd records d (±1) on the worker's own shard. Owner-only: the
+// mirrors make every write a plain store, and the stamp bracket (odd →
+// stable value → even) is what lets the quiescence scan validate itself
+// without any shared state.
+func (w *worker) inflightAdd(d int64) {
+	h := w.shard
+	w.stampMirror++
+	h.stamp.Store(w.stampMirror) // odd: update in progress
+	w.countMirror += d
+	h.count.Store(w.countMirror)
+	w.stampMirror++
+	h.stamp.Store(w.stampMirror) // even: stable
+}
+
+// extInflightAdd records d on the external-submission shard. Callers hold
+// admitMu (the admission path is the one place tasks enter from outside a
+// worker), so the RMWs are uncontended; atomics keep the scan race-free.
+func (s *Scheduler) extInflightAdd(d int64) {
+	h := &s.shards[len(s.shards)-1]
+	h.stamp.Add(1)
+	h.count.Add(d)
+	h.stamp.Add(1)
+}
+
+// quiescent reports whether the total in-flight count was zero at some
+// instant during the call. False negatives are possible under concurrent
+// updates (and harmless: the racing update's own completion re-checks);
+// false positives are not — see the validation argument above.
+func (s *Scheduler) quiescent() bool {
+	var sum int64
+	var t1, t2 uint64
+	for i := range s.shards {
+		h := &s.shards[i]
+		st := h.stamp.Load()
+		if st&1 != 0 {
+			return false // an update is mid-flight: not quiescent now
+		}
+		t1 += st
+		sum += h.count.Load()
+	}
+	if sum != 0 {
+		return false
+	}
+	for i := range s.shards {
+		t2 += s.shards[i].stamp.Load()
+	}
+	return t1 == t2 // stamps are monotone: equal sums mean no shard moved
+}
+
+// inflightSum returns the racy sum of all shards (diagnostics; exact only
+// when nothing is running).
+func (s *Scheduler) inflightSum() int64 {
+	var sum int64
+	for i := range s.shards {
+		sum += s.shards[i].count.Load()
+	}
+	return sum
+}

@@ -50,24 +50,31 @@ type Scheduler struct {
 	topo    *topo.Topology
 	workers []*worker
 
-	inflight atomic.Int64 // spawned but not yet completed tasks
-	qz       quiesce      // parks Wait on the inflight zero transition
-	gen      atomic.Uint64
-	done     atomic.Bool
-	doneCh   chan struct{} // closed by Shutdown; wakes parked waiters
-	wg       sync.WaitGroup
-	trace    tracer
+	// shards[i] is worker i's slice of the global in-flight count; the last
+	// shard belongs to the external submission path (see inflight.go).
+	shards []inflightShard
+	qz     quiesce // parks Wait on the in-flight zero transition
+	gen    atomic.Uint64
+	done   atomic.Bool
+	doneCh chan struct{} // closed by Shutdown; wakes parked waiters
+	wg     sync.WaitGroup
+	trace  tracer
+
+	// pendingInject is the total of nodes across all inject queues. It is
+	// written under admitMu but read lock-free by takeInjected's empty fast
+	// path, so an idle worker's poll costs one atomic load instead of a
+	// global mutex acquisition.
+	pendingInject atomic.Int64
 
 	// Admission state (see admission.go): per-source inject queues drained
 	// round-robin, with optional bounds exerting backpressure on spawners.
-	admitMu       sync.Mutex
-	admitCond     *sync.Cond // signaled when inject room frees up
-	admitWaiters  int        // spawners parked on admitCond
-	ringHead      *injectQ   // next non-empty source to drain (circular list)
-	ringLen       int        // non-empty sources in the ring (diagnostics)
-	pendingInject int64      // total nodes across all inject queues
-	noGroupQ      injectQ    // source for group-less Scheduler.Spawn
-	admit         stats.Admission
+	admitMu      sync.Mutex
+	admitCond    *sync.Cond // signaled when inject room frees up
+	admitWaiters int        // spawners parked on admitCond
+	ringHead     *injectQ   // next non-empty source to drain (circular list)
+	ringLen      int        // non-empty sources in the ring (diagnostics)
+	noGroupQ     injectQ    // source for group-less Scheduler.Spawn
+	admit        stats.Admission
 }
 
 // New starts a scheduler with p workers. The workers idle (with capped
@@ -97,6 +104,7 @@ func build(opts Options) *Scheduler {
 		doneCh: make(chan struct{}),
 	}
 	s.admitCond = sync.NewCond(&s.admitMu)
+	s.shards = make([]inflightShard, opts.P+1)
 	s.workers = make([]*worker, opts.P)
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, i)
@@ -141,11 +149,11 @@ func (s *Scheduler) Spawn(t Task) {
 // and would never drain.
 func (s *Scheduler) Wait() {
 	for {
-		if s.inflight.Load() == 0 || s.done.Load() {
+		if s.done.Load() || s.quiescent() {
 			return
 		}
 		ch := s.qz.gate()
-		if s.inflight.Load() == 0 || s.done.Load() {
+		if s.done.Load() || s.quiescent() {
 			return
 		}
 		select {
@@ -202,15 +210,14 @@ func (s *Scheduler) WorkerStats() []stats.Snapshot {
 func (s *Scheduler) Admission() stats.AdmissionSnapshot { return s.admit.Snapshot() }
 
 // Pending returns the current number of in-flight tasks (racy; for tests
-// and diagnostics).
-func (s *Scheduler) Pending() int64 { return s.inflight.Load() }
+// and diagnostics — individual shard reads are atomic but the sum is not a
+// single snapshot, so a live scheduler may even report a transient
+// negative; it is exact when nothing is running).
+func (s *Scheduler) Pending() int64 { return s.inflightSum() }
 
-// makeNode validates t's thread requirement and wraps it for the queues,
-// without accounting it in-flight. It panics on an invalid requirement —
-// before any accounting, so a panicking spawn never leaks an inflight
-// count.
-func (s *Scheduler) makeNode(t Task, g *Group) *node {
-	r := t.Threads()
+// validateReq panics on an invalid thread requirement — before any node is
+// fetched or accounted, so a panicking spawn never leaks an inflight count.
+func (s *Scheduler) validateReq(r int) {
 	if r < 1 {
 		panic(fmt.Sprintf("core: task thread requirement %d < 1", r))
 	}
@@ -218,38 +225,34 @@ func (s *Scheduler) makeNode(t Task, g *Group) *node {
 		panic(fmt.Sprintf("core: task requires %d threads; scheduler supports at most %d (p = %d)",
 			r, s.topo.MaxTeam, s.topo.P))
 	}
-	return &node{task: t, r: r, group: g}
 }
 
-// account raises the in-flight counts for n, globally and in its group
-// (nil for group-less tasks). The counts are raised before the node
-// becomes runnable anywhere, so neither Wait can observe a transient zero
-// while the task tree is still growing.
-func (s *Scheduler) account(n *node) {
-	s.inflight.Add(1)
-	if n.group != nil {
-		n.group.inflight.Add(1)
-	}
-}
-
-// newNode is makeNode + account: the interior spawn path (Ctx.Spawn), which
-// bypasses admission — it is the scheduler's own task-tree growth, not
-// client ingress.
-func (s *Scheduler) newNode(t Task, g *Group) *node {
-	n := s.makeNode(t, g)
-	s.account(n)
+// makeNode validates t's thread requirement and wraps it (recycling a
+// pooled node) for the external submission path, without accounting it
+// in-flight: external tasks are accounted at admission (enqueueLocked),
+// under admitMu, against the external in-flight shard.
+func (s *Scheduler) makeNode(t Task, g *Group) *node {
+	r := t.Threads()
+	s.validateReq(r)
+	n := getNodeShared()
+	n.task, n.r, n.group = t, r, g
 	return n
 }
 
 // taskDone marks one task of group g (nil for group-less tasks) as
-// completed. A task's children are accounted before its own completion is
-// reported, so a group count of zero really means quiescence. The global
-// counter is decremented first: a client returning from Group.Wait (the
-// group count hitting zero) must never observe its own finished tasks
-// still in Scheduler.Pending. A zero transition releases the matching
-// quiescence gate, waking parked waiters.
-func (s *Scheduler) taskDone(g *Group) {
-	if s.inflight.Add(-1) == 0 {
+// completed, on the completing worker's own in-flight shard. A task's
+// children are accounted before its own completion is reported, so a count
+// of zero really means quiescence. The global shard is decremented first: a
+// client returning from Group.Wait (the group count hitting zero) must
+// never observe its own finished tasks still in Scheduler.Pending. The
+// global quiescence scan runs only when a waiter is actually parked
+// (qz.armed); the per-group counter keeps its exact zero-transition
+// release — groups are per-client, not per-task-tree-node, so its line is
+// not globally contended.
+func (w *worker) taskDone(g *Group) {
+	w.inflightAdd(-1)
+	s := w.sched
+	if s.qz.armed() && s.quiescent() {
 		s.qz.release()
 	}
 	if g != nil {

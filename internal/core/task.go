@@ -72,6 +72,10 @@ func Solo(fn func(*Ctx)) Task { return Func(1, fn) }
 
 // Ctx is the per-execution context handed to Task.Run. It identifies the
 // executing worker, the task's team, and allows spawning further tasks.
+//
+// A Ctx is only valid for the duration of the Run call it was passed to:
+// contexts are recycled on per-worker free lists (the spawn→run hot path
+// allocates nothing), so a task must not retain its Ctx after Run returns.
 type Ctx struct {
 	w       *worker
 	exec    *teamExec // nil for r = 1 executions

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/backoff"
@@ -20,16 +21,36 @@ type TaskGroup struct {
 	pending atomic.Int64
 }
 
+// tgWrap is the pooled wrapper task that reports a child's completion to
+// its TaskGroup. Recycling the wrappers (plus the scheduler's node free
+// list) makes a steady-state TaskGroup spawn+join allocation-free when the
+// caller reuses the child Task value.
+type tgWrap struct {
+	g *TaskGroup
+	t Task
+}
+
+var tgWrapPool = sync.Pool{New: func() any { return new(tgWrap) }}
+
+func (x *tgWrap) Threads() int { return 1 }
+
+func (x *tgWrap) Run(c *Ctx) {
+	g, t := x.g, x.t
+	x.g, x.t = nil, nil
+	tgWrapPool.Put(x) // content copied out; nothing dereferences x after Run starts
+	defer g.pending.Add(-1)
+	t.Run(c)
+}
+
 // Spawn submits t as part of the group. t.Threads() must be 1.
 func (g *TaskGroup) Spawn(ctx *Ctx, t Task) {
 	if t.Threads() != 1 {
 		panic("core: TaskGroup supports only single-threaded tasks (see doc)")
 	}
 	g.pending.Add(1)
-	ctx.Spawn(Solo(func(c *Ctx) {
-		defer g.pending.Add(-1)
-		t.Run(c)
-	}))
+	x := tgWrapPool.Get().(*tgWrap)
+	x.g, x.t = g, t
+	ctx.Spawn(x)
 }
 
 // Go submits fn as a single-threaded task of the group.

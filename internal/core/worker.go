@@ -50,6 +50,15 @@ type worker struct {
 	teamed   bool   // member of a fixed team
 	lastGen  uint64 // generation of the last picked-up team execution
 
+	// Owner-only hot-path state: this worker's in-flight shard with its
+	// plain-value mirrors (see inflight.go), and the node free list (see
+	// nodepool.go).
+	shard       *inflightShard
+	countMirror int64
+	stampMirror uint64
+	free        []*node
+	ctxFree     []*Ctx
+
 	rngState uint64
 }
 
@@ -57,6 +66,8 @@ func newWorker(s *Scheduler, id int) *worker {
 	w := &worker{
 		id:       id,
 		sched:    s,
+		shard:    &s.shards[id],
+		free:     make([]*node, 0, nodeFreeCap),
 		rngState: s.opts.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
 	}
 	w.queues = make([]*deque.Deque[node], s.topo.QueueLevels)
@@ -101,13 +112,31 @@ func (w *worker) partnerAt(l int) *worker {
 }
 
 // spawn pushes a new task of group g onto the local queues (Ctx.Spawn).
+// This is the steady-state interior hot path: the node comes from the
+// worker's free list, the accounting touches only the worker's own
+// in-flight shard, and nothing is allocated — the r = 1 spawn really does
+// cost no more than classical work-stealing.
 func (w *worker) spawn(t Task, g *Group) {
-	w.pushNode(w.sched.newNode(t, g))
+	r := t.Threads()
+	w.sched.validateReq(r)
+	n := w.getNode()
+	n.task, n.r, n.group = t, r, g
+	// Accounting happens before the node becomes visible in any queue, so
+	// no Wait can observe a transient zero while the task tree still grows.
+	w.inflightAdd(1)
+	if g != nil {
+		g.inflight.Add(1)
+	}
+	w.st.Spawns.Add(1)
+	w.pushNode(n)
 }
 
+// pushNode makes an already-accounted node runnable on the local queue of
+// its size class. Spawns is counted at the true spawn sites (spawn and the
+// admission path's accounting), not here: pushNode also serves takeInjected,
+// whose takes are reported as InjectTakes, not spawns.
 func (w *worker) pushNode(n *node) {
 	w.queues[topo.Level(n.r)].PushBottom(n)
-	w.st.Spawns.Add(1)
 }
 
 // loop is the worker main loop (Algorithm 1 + Algorithm 5 structure):
@@ -151,22 +180,30 @@ func (w *worker) idleWait() {
 
 // runSolo executes a single-threaded task (the classical work-stealing fast
 // path; no registration traffic, matching the paper's "no extra overhead"
-// claim for r = 1).
+// claim for r = 1). The node is recycled before the task runs — its content
+// is already copied out, and freeing first lets the task's own spawns reuse
+// it immediately.
 func (w *worker) runSolo(n *node) {
-	ctx := Ctx{w: w, localID: 0, group: n.group}
+	task, g := n.task, n.group
+	w.freeNode(n)
+	ctx := w.getCtx()
+	ctx.w, ctx.group = w, g
 	w.st.TasksRun.Add(1)
-	n.task.Run(&ctx)
-	w.sched.taskDone(n.group)
+	task.Run(ctx)
+	w.putCtx(ctx)
+	w.taskDone(g)
 	w.bo.Reset()
 }
 
 // runTeamPart executes this worker's share of a team task.
 func (w *worker) runTeamPart(exec *teamExec, lid int) {
-	ctx := Ctx{w: w, exec: exec, localID: lid, group: exec.group}
+	ctx := w.getCtx()
+	ctx.w, ctx.exec, ctx.localID, ctx.group = w, exec, lid, exec.group
 	w.st.TasksRun.Add(1)
 	w.st.TeamTasksRun.Add(1)
 	defer exec.done.Add(-1)
-	exec.task.Run(&ctx)
+	exec.task.Run(ctx)
+	w.putCtx(ctx)
 }
 
 // memberStep is one polling iteration of a worker whose coordinator is

@@ -70,6 +70,18 @@ func (d *Deque[T]) PushBottom(v *T) {
 
 // PopBottom removes and returns the bottom element, or nil if the deque is
 // empty or the last element was lost to a concurrent thief. Owner-only.
+//
+// The popped slot is cleared: a slot that kept its pointer would retain the
+// popped task (and everything it captures) until the ring wraps around and
+// overwrites it — on a mostly-idle deque, indefinitely. Clearing is safe on
+// both owner paths because no thief can still commit a read of slot b: a
+// thief targeting index b must read top == b before it reads bottom (PopTop
+// reads in that order), so it either read bottom after our publication of
+// bottom = b (and rejected, t < b being false), or its top CAS loses to
+// whichever pop — ours or a competing thief's — already advanced top past
+// b. Thief-side PopTop must NOT clear: after a winning top CAS, the owner
+// may already be overwriting the slot via wrap-around, and a late nil store
+// would destroy the new element.
 func (d *Deque[T]) PopBottom() *T {
 	b := d.bottom.Load() - 1
 	a := d.arr.Load()
@@ -87,8 +99,10 @@ func (d *Deque[T]) PopBottom() *T {
 			v = nil // a thief got it
 		}
 		d.bottom.Store(t + 1)
+		a.store(b, nil) // top is past b either way: no thief read can commit
 		return v
 	}
+	a.store(b, nil)
 	return v
 }
 

@@ -14,6 +14,7 @@
 package msort
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -71,7 +72,22 @@ func Root[T qsort.Ordered](data []T, opt Options) core.Task {
 		return nil
 	}
 	tmp := make([]T, len(data))
-	return sortTask(data, tmp, false, nil, opt)
+	st := &msState[T]{opt: opt}
+	return st.sortTask(data, tmp, false, nil)
+}
+
+// msState is the shared state of one merge sort tree: the options plus the
+// recycling pools for the sort tasks, the sequential merge tasks, and the
+// merge join nodes, so the whole continuation tree (Θ(n/cutoff) spawns)
+// allocates only at the root. Tasks return themselves to their pool as they
+// start running (fields copied out first; the scheduler never touches a
+// task value after invoking Run), and a mergeNode is recycled by whichever
+// child finishes last, after it has extracted the merge description.
+type msState[T qsort.Ordered] struct {
+	opt       Options
+	sortPool  sync.Pool // *msSortTask[T]
+	mergePool sync.Pool // *msSeqMerge[T]
+	nodePool  sync.Pool // *mergeNode[T]
 }
 
 // bestNp mirrors the Quicksort's getBestNp for merge steps.
@@ -84,57 +100,129 @@ func bestNp(n, perThread, maxTeam int) int {
 }
 
 // mergeNode is the join point of two child sorts. Whichever child finishes
-// last spawns the merge.
+// last spawns the merge (and recycles the node).
 type mergeNode[T qsort.Ordered] struct {
 	a, b, out []T
 	parent    *mergeNode[T]
 	pending   atomic.Int32
-	opt       Options
+	st        *msState[T]
+}
+
+func (st *msState[T]) newMergeNode(parent *mergeNode[T]) *mergeNode[T] {
+	m, _ := st.nodePool.Get().(*mergeNode[T])
+	if m == nil {
+		m = &mergeNode[T]{st: st}
+	}
+	m.parent = parent
+	m.pending.Store(2)
+	return m
 }
 
 // childDone is called by each completed child (and by the node's own merge
-// task toward its parent).
+// task toward its parent). The last caller extracts the merge description,
+// recycles the node, and spawns the merge.
 func (m *mergeNode[T]) childDone(ctx *core.Ctx) {
 	if m.pending.Add(-1) != 0 {
 		return
 	}
-	n := len(m.out)
-	np := bestNp(n, m.opt.MinPerThread, ctx.Scheduler().MaxTeam())
+	st, parent := m.st, m.parent
+	a, b, out := m.a, m.b, m.out
+	m.a, m.b, m.out, m.parent = nil, nil, nil, nil
+	st.nodePool.Put(m)
+	np := bestNp(len(out), st.opt.MinPerThread, ctx.Scheduler().MaxTeam())
 	if np <= 1 {
-		m.spawnSequentialMerge(ctx)
+		ctx.Spawn(st.seqMerge(a, b, out, parent))
 		return
 	}
-	parent := m.parent
-	a, b, out := m.a, m.b, m.out
-	ctx.Spawn(core.Func(np, func(c *core.Ctx) {
-		w, lid := c.TeamSize(), c.LocalID()
-		lo, hi := lid*n/w, (lid+1)*n/w
-		mergeRange(a, b, out, lo, hi)
-		c.Barrier() // the merge is complete once all chunks are written
-		if lid == 0 && parent != nil {
-			parent.childDone(c)
-		}
-	}))
+	// Team merges are one per large node — a vanishing fraction of the
+	// spawns — so their tasks are plain allocations, not pooled.
+	ctx.Spawn(&msTeamMerge[T]{np: np, a: a, b: b, out: out, parent: parent})
 }
 
-func (m *mergeNode[T]) spawnSequentialMerge(ctx *core.Ctx) {
-	parent := m.parent
-	a, b, out := m.a, m.b, m.out
-	ctx.Spawn(core.Solo(func(c *core.Ctx) {
-		mergeRange(a, b, out, 0, len(out))
-		if parent != nil {
-			parent.childDone(c)
-		}
-	}))
+// msSeqMerge is a pooled sequential merge task.
+type msSeqMerge[T qsort.Ordered] struct {
+	st        *msState[T]
+	a, b, out []T
+	parent    *mergeNode[T]
 }
 
-// sortTask returns the recursive sort task for src. The sorted result lands
-// in src if !toTmp, else in tmp (the buffers alternate down the recursion so
-// every merge reads one buffer and writes the other).
-func sortTask[T qsort.Ordered](src, tmp []T, toTmp bool, parent *mergeNode[T], opt Options) core.Task {
-	return core.Solo(func(ctx *core.Ctx) {
+func (st *msState[T]) seqMerge(a, b, out []T, parent *mergeNode[T]) *msSeqMerge[T] {
+	t, _ := st.mergePool.Get().(*msSeqMerge[T])
+	if t == nil {
+		t = &msSeqMerge[T]{st: st}
+	}
+	t.a, t.b, t.out, t.parent = a, b, out, parent
+	return t
+}
+
+func (t *msSeqMerge[T]) Threads() int { return 1 }
+
+func (t *msSeqMerge[T]) Run(c *core.Ctx) {
+	st, a, b, out, parent := t.st, t.a, t.b, t.out, t.parent
+	t.a, t.b, t.out, t.parent = nil, nil, nil, nil
+	st.mergePool.Put(t)
+	mergeRange(a, b, out, 0, len(out))
+	if parent != nil {
+		parent.childDone(c)
+	}
+}
+
+// msTeamMerge is a team merge task of np workers: the output range is
+// partitioned by co-ranking, every member writes an independent chunk.
+type msTeamMerge[T qsort.Ordered] struct {
+	np        int
+	a, b, out []T
+	parent    *mergeNode[T]
+}
+
+func (t *msTeamMerge[T]) Threads() int { return t.np }
+
+func (t *msTeamMerge[T]) Run(c *core.Ctx) {
+	w, lid := c.TeamSize(), c.LocalID()
+	n := len(t.out)
+	lo, hi := lid*n/w, (lid+1)*n/w
+	mergeRange(t.a, t.b, t.out, lo, hi)
+	c.Barrier() // the merge is complete once all chunks are written
+	if lid == 0 && t.parent != nil {
+		t.parent.childDone(c)
+	}
+}
+
+// msSortTask is the pooled recursive sort task for src. The sorted result
+// lands in src if !toTmp, else in tmp (the buffers alternate down the
+// recursion so every merge reads one buffer and writes the other).
+type msSortTask[T qsort.Ordered] struct {
+	st       *msState[T]
+	src, tmp []T
+	toTmp    bool
+	parent   *mergeNode[T]
+}
+
+func (st *msState[T]) sortTask(src, tmp []T, toTmp bool, parent *mergeNode[T]) *msSortTask[T] {
+	t, _ := st.sortPool.Get().(*msSortTask[T])
+	if t == nil {
+		t = &msSortTask[T]{st: st}
+	}
+	t.src, t.tmp, t.toTmp, t.parent = src, tmp, toTmp, parent
+	return t
+}
+
+func (t *msSortTask[T]) Threads() int { return 1 }
+
+func (t *msSortTask[T]) Run(ctx *core.Ctx) {
+	st, src, tmp, toTmp, parent := t.st, t.src, t.tmp, t.toTmp, t.parent
+	t.src, t.tmp, t.parent = nil, nil, nil
+	st.sortPool.Put(t)
+	st.sortRun(ctx, src, tmp, toTmp, parent)
+}
+
+// sortRun is the recursive split: the left child is spawned as a pooled
+// task, the right child continues inline (standard work-first split,
+// expressed as a loop).
+func (st *msState[T]) sortRun(ctx *core.Ctx, src, tmp []T, toTmp bool, parent *mergeNode[T]) {
+	for {
 		n := len(src)
-		if n <= opt.Cutoff {
+		if n <= st.opt.Cutoff {
 			qsort.Introsort(src)
 			if toTmp {
 				copy(tmp, src)
@@ -145,19 +233,16 @@ func sortTask[T qsort.Ordered](src, tmp []T, toTmp bool, parent *mergeNode[T], o
 			return
 		}
 		h := n / 2
-		node := &mergeNode[T]{parent: parent, opt: opt}
-		node.pending.Store(2)
+		node := st.newMergeNode(parent)
 		if toTmp {
 			node.a, node.b, node.out = src[:h], src[h:], tmp
 		} else {
 			node.a, node.b, node.out = tmp[:h], tmp[h:], src
 		}
 		// Children sort into the opposite buffer of this node's output.
-		left := sortTask(src[:h], tmp[:h], !toTmp, node, opt)
-		right := sortTask(src[h:], tmp[h:], !toTmp, node, opt)
-		ctx.Spawn(left)
-		right.Run(ctx) // run one child inline (standard work-first split)
-	})
+		ctx.Spawn(st.sortTask(src[:h], tmp[:h], !toTmp, node))
+		src, tmp, toTmp, parent = src[h:], tmp[h:], !toTmp, node
+	}
 }
 
 // coRank returns (i, j) with i+j = k such that merging a[:i] with b[:j]

@@ -1,6 +1,8 @@
 package qsort
 
 import (
+	"sync"
+
 	"repro/internal/cilk"
 	"repro/internal/classic"
 	"repro/internal/core"
@@ -15,6 +17,79 @@ import (
 // help-first scheduling, with one task allocation saved per step);
 // subsequences below the cutoff are sorted with the sequential STL-style
 // sort, exactly as in §5.
+
+// ForkPool recycles the spawn wrappers of the task-parallel quicksort: each
+// partitioning step spawns the left subsequence as a forkTask drawn from the
+// pool, and the task returns itself to the pool as it starts running (its
+// fields are copied out first; the scheduler never touches a task value
+// after invoking Run). Together with the scheduler's node free list this
+// makes the steady-state fork-join recursion allocation-free — the paper's
+// r = 1 "ordinary work-stealing" regime with no per-spawn garbage at all.
+//
+// One pool serves one sort tree (or several: the mixed-mode quicksort and
+// the samplesort thread a single pool through their whole recursion), so
+// the pool itself costs one allocation per root, amortized over the
+// Θ(n/cutoff) spawns below it.
+type ForkPool[T Ordered] struct {
+	cutoff int
+	pool   sync.Pool
+}
+
+// NewForkPool returns a pool of fork-join quicksort tasks with the given
+// sequential cutoff (values < 2 select DefaultCutoff).
+func NewForkPool[T Ordered](cutoff int) *ForkPool[T] {
+	if cutoff < 2 {
+		cutoff = DefaultCutoff
+	}
+	return &ForkPool[T]{cutoff: cutoff}
+}
+
+// forkTask is one pooled spawn of the task-parallel quicksort recursion.
+type forkTask[T Ordered] struct {
+	fp   *ForkPool[T]
+	data []T
+}
+
+func (t *forkTask[T]) Threads() int { return 1 }
+
+func (t *forkTask[T]) Run(ctx *core.Ctx) {
+	fp, data := t.fp, t.data
+	t.data = nil
+	fp.pool.Put(t)
+	fp.run(ctx, data)
+}
+
+// task wraps data in a recycled (or new) forkTask.
+func (fp *ForkPool[T]) task(data []T) *forkTask[T] {
+	t, _ := fp.pool.Get().(*forkTask[T])
+	if t == nil {
+		t = &forkTask[T]{fp: fp}
+	}
+	t.data = data
+	return t
+}
+
+// Spawn spawns the task-parallel quicksort of data on ctx as a pooled task.
+func (fp *ForkPool[T]) Spawn(ctx *core.Ctx, data []T) {
+	ctx.Spawn(fp.task(data))
+}
+
+// Run runs the quicksort recursion over data from inside a running task,
+// spawning the left subsequences as pooled tasks (see ForkCtx).
+func (fp *ForkPool[T]) Run(ctx *core.Ctx, data []T) {
+	fp.run(ctx, data)
+}
+
+func (fp *ForkPool[T]) run(ctx *core.Ctx, data []T) {
+	cutoff := fp.cutoff
+	for len(data) > cutoff {
+		s := HoarePartition(data)
+		left := data[:s]
+		data = data[s:]
+		ctx.Spawn(fp.task(left))
+	}
+	Introsort(data)
+}
 
 // ForkJoinCore sorts data with the task-parallel quicksort on the
 // team-building scheduler; all tasks have thread requirement 1, so the
@@ -41,15 +116,13 @@ func ForkJoinGroup[T Ordered](g *core.Group, data []T, cutoff int) {
 // ForkJoinRoot returns the root task of the task-parallel quicksort over
 // data, for batched submission (Group.SpawnBatch amortizes one admission-
 // lock acquisition over many such roots). It returns nil when there is
-// nothing to sort (len(data) < 2).
+// nothing to sort (len(data) < 2). The root carries its own ForkPool, so
+// the recursion below it spawns without allocating.
 func ForkJoinRoot[T Ordered](data []T, cutoff int) core.Task {
-	if cutoff < 2 {
-		cutoff = DefaultCutoff
-	}
 	if len(data) < 2 {
 		return nil
 	}
-	return core.Solo(func(ctx *core.Ctx) { forkCore(ctx, data, cutoff) })
+	return NewForkPool[T](cutoff).task(data)
 }
 
 // ForkCtx runs the task-parallel quicksort of Algorithm 10 from inside a
@@ -58,23 +131,11 @@ func ForkJoinRoot[T Ordered](data []T, cutoff int) core.Task {
 // once the caller's own share is sorted; the spawned subtasks complete
 // independently, so callers needing the whole range sorted must wait for
 // scheduler quiescence (as Scheduler.Run does). This is how mixed-mode
-// algorithms (internal/ssort, the mixed-mode quicksort's fallback) hand
-// subsequences to the task-parallel sorter without blocking a worker.
+// algorithms hand subsequences to the task-parallel sorter without blocking
+// a worker; callers spawning many such ranges should create one ForkPool
+// and use its Run/Spawn instead, sharing the wrapper pool across ranges.
 func ForkCtx[T Ordered](ctx *core.Ctx, data []T, cutoff int) {
-	if cutoff < 2 {
-		cutoff = DefaultCutoff
-	}
-	forkCore(ctx, data, cutoff)
-}
-
-func forkCore[T Ordered](ctx *core.Ctx, data []T, cutoff int) {
-	for len(data) > cutoff {
-		s := HoarePartition(data)
-		left := data[:s]
-		data = data[s:]
-		ctx.Spawn(core.Solo(func(c *core.Ctx) { forkCore(c, left, cutoff) }))
-	}
-	Introsort(data)
+	NewForkPool[T](cutoff).run(ctx, data)
 }
 
 // ForkJoinClassic sorts data with the task-parallel quicksort on the classic

@@ -86,7 +86,9 @@ func MixedModeRoot[T Ordered](maxTeam int, data []T, opt MMOptions) core.Task {
 		// Algorithm 11 line 1: "if np = 1 then return qsort(data, n)".
 		return ForkJoinRoot(data, opt.Cutoff)
 	}
-	return newMMTask(data, np, opt)
+	// One fork-task pool serves every task-parallel fallback of this sort
+	// tree, so the fork-join tails spawn without allocating.
+	return newMMTask(data, np, opt, NewForkPool[T](opt.Cutoff))
 }
 
 // mmTask is one mixed-mode quicksort task: a data-parallel partitioning of
@@ -95,10 +97,11 @@ type mmTask[T Ordered] struct {
 	ps  *parState[T]
 	np  int
 	opt MMOptions
+	fp  *ForkPool[T] // shared across the sort tree's fork-join fallbacks
 }
 
-func newMMTask[T Ordered](data []T, np int, opt MMOptions) *mmTask[T] {
-	return &mmTask[T]{ps: newParState(data, np, opt.BlockSize), np: np, opt: opt}
+func newMMTask[T Ordered](data []T, np int, opt MMOptions, fp *ForkPool[T]) *mmTask[T] {
+	return &mmTask[T]{ps: newParState(data, np, opt.BlockSize), np: np, opt: opt, fp: fp}
 }
 
 func (t *mmTask[T]) Threads() int { return t.np }
@@ -139,12 +142,11 @@ func (t *mmTask[T]) spawnPart(ctx *core.Ctx, part []T) {
 		t.spawnFork(ctx, part)
 		return
 	}
-	ctx.Spawn(newMMTask(part, np, t.opt))
+	ctx.Spawn(newMMTask(part, np, t.opt, t.fp))
 }
 
 func (t *mmTask[T]) spawnFork(ctx *core.Ctx, part []T) {
-	cutoff := t.opt.Cutoff
-	ctx.Spawn(core.Solo(func(c *core.Ctx) { forkCore(c, part, cutoff) }))
+	t.fp.Spawn(ctx, part)
 }
 
 // parState is the shared state of one data-parallel partitioning step.

@@ -119,7 +119,10 @@ func Root[T qsort.Ordered](maxTeam int, data []T, opt Options) core.Task {
 		return qsort.ForkJoinRoot(data, opt.Cutoff)
 	}
 	scratch := make([]T, n)
-	return newTask(data, scratch, np, opt)
+	// One fork-task pool serves every sequential bucket and fork-join
+	// fallback of this sort tree (see qsort.ForkPool), so the task-parallel
+	// fan-out below the team phases spawns without allocating.
+	return newTask(data, scratch, np, opt, qsort.NewForkPool[T](opt.Cutoff))
 }
 
 // task is one samplesort team task over data; scratch is a disjoint buffer
@@ -128,6 +131,7 @@ type task[T qsort.Ordered] struct {
 	data, scratch []T
 	np            int
 	opt           Options
+	fp            *qsort.ForkPool[T] // shared by the whole sort tree
 
 	nb         int // bucket count
 	sample     []T
@@ -139,14 +143,14 @@ type task[T qsort.Ordered] struct {
 	starts []int // bucket start offsets after the exclusive scan
 }
 
-func newTask[T qsort.Ordered](data, scratch []T, np int, opt Options) *task[T] {
+func newTask[T qsort.Ordered](data, scratch []T, np int, opt Options, fp *qsort.ForkPool[T]) *task[T] {
 	nb := np * opt.BucketsPerThread
 	ss := nb * opt.Oversample
 	if ss > len(data) {
 		ss = len(data)
 	}
 	return &task[T]{
-		data: data, scratch: scratch, np: np, opt: opt,
+		data: data, scratch: scratch, np: np, opt: opt, fp: fp,
 		nb:        nb,
 		sample:    make([]T, ss),
 		splitters: make([]T, nb-1),
@@ -245,7 +249,9 @@ func (t *task[T]) spawnBucket(ctx *core.Ctx, part, scratch []T) {
 		return
 	}
 	if m <= t.opt.Cutoff {
-		ctx.Spawn(core.Solo(func(*core.Ctx) { qsort.Introsort(part) }))
+		// At or below the cutoff the pooled fork task degenerates to one
+		// sequential Introsort — same wrapper, no closure allocation.
+		t.fp.Spawn(ctx, part)
 		return
 	}
 	np := bestNp(m, t.opt.MinPerThread, ctx.Scheduler().MaxTeam())
@@ -253,15 +259,14 @@ func (t *task[T]) spawnBucket(ctx *core.Ctx, part, scratch []T) {
 	// whole range (heavily duplicated keys) must not recurse as a
 	// samplesort again.
 	if np > 1 && m < len(t.data) {
-		ctx.Spawn(newTask(part, scratch, np, t.opt))
+		ctx.Spawn(newTask(part, scratch, np, t.opt, t.fp))
 		return
 	}
 	t.spawnFork(ctx, part)
 }
 
 func (t *task[T]) spawnFork(ctx *core.Ctx, part []T) {
-	cutoff := t.opt.Cutoff
-	ctx.Spawn(core.Solo(func(c *core.Ctx) { qsort.ForkCtx(c, part, cutoff) }))
+	t.fp.Spawn(ctx, part)
 }
 
 // bucketIndex returns the bucket of v: the number of splitters ≤ v, found

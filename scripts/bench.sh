@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 set -euo pipefail
 
-# Benchmark trajectory: runs the team-parallel primitive benchmarks, the
-# samplesort-vs-quicksort benchmarks, and the multi-client throughput
-# harness, and emits machine-readable JSON (`go test -bench -json`
-# post-processed by scripts/benchjson; cmd/throughput emits JSON natively).
+# Benchmark trajectory: runs the scheduler core microbenchmarks, the
+# team-parallel primitive benchmarks, the samplesort-vs-quicksort
+# benchmarks, and the multi-client throughput harness, and emits
+# machine-readable JSON (`go test -bench -json` post-processed by
+# scripts/benchjson; cmd/throughput emits JSON natively).
 #
+#   BENCH_core.json        scheduler hot-path microbenchmarks (spawn/join
+#                          ping-pong, empty-task fan-out, steal imbalance,
+#                          injected-take poll, inject latency, counter
+#                          contention; includes allocs/op), wrapped as
+#                          {baseline, current} against the recorded
+#                          scripts/core-baseline.json (the pre-pooling
+#                          scheduler) so the trajectory keeps before/after
 #   BENCH_par.json         primitive throughput (Reduce/Scan/Pack/Histogram/MinMax/Map)
 #   BENCH_sort.json        mixed-mode quicksort vs samplesort per distribution
 #   BENCH_throughput.json  C concurrent clients × request mix on one shared scheduler
@@ -43,6 +51,11 @@ else
     TP_ARGS+=(-sweep "${TP_SWEEP}")
   fi
 fi
+
+echo "bench: core (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_core.json"
+go test -run '^$' -bench '^Benchmark(SpawnJoinPingPong|EmptyTaskFanout|StealImbalance|InjectedTakeEmpty|InjectLatency|CounterContention)$' \
+  -benchtime "${BENCHTIME}" -json ./internal/core |
+  go run ./scripts/benchjson -baseline scripts/core-baseline.json > "${OUTDIR}/BENCH_core.json"
 
 echo "bench: primitives (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_par.json"
 go test -run '^$' -bench '^Benchmark(Reduce|ScanInclusive|ScanExclusive|Pack|Histogram|MinMax|Map)$' \

@@ -3,6 +3,11 @@
 // post-processing step of scripts/bench.sh that emits the BENCH_*.json
 // trajectory files.
 //
+// With -baseline FILE, the output becomes {"baseline": <FILE's contents>,
+// "current": [...]} so a trajectory file can carry recorded before/after
+// numbers (scripts/core-baseline.json pins the scheduler's hot-path numbers
+// from before the allocation-free refactor).
+//
 // test2json may split one console line of benchmark output across several
 // Output events (the name is printed before the measurement), so the
 // events are concatenated per package before the result lines are parsed.
@@ -11,6 +16,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -42,6 +48,10 @@ var resultLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-(\d+))?\
 var metricPair = regexp.MustCompile(`([0-9.]+) ([^\s]+)`)
 
 func main() {
+	baseline := flag.String("baseline", "",
+		"baseline results file; wraps output as {baseline, current}")
+	flag.Parse()
+
 	outputs := map[string]*strings.Builder{} // per package
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -96,7 +106,23 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	var out any = results
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *baseline)
+			os.Exit(1)
+		}
+		out = struct {
+			Baseline json.RawMessage `json:"baseline"`
+			Current  []result        `json:"current"`
+		}{Baseline: json.RawMessage(raw), Current: results}
+	}
+	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

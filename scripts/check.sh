@@ -22,12 +22,15 @@ go vet ./...
 echo "check: go test ./..."
 go test ./...
 
-# The race list covers the admission-control and quiescence tests: the
-# whitebox/flood admission tests and spawn-vs-shutdown races live in
+# The race list covers the admission-control and quiescence tests (the
+# whitebox/flood admission tests and spawn-vs-shutdown races in
 # ./internal/core, the Runtime-level bounded-flood and SortMany tests in
-# the root package.
-echo "check: go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort"
-go test -race . ./internal/core ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/ssort
+# the root package) plus the hot-path recycling machinery: the node/ctx
+# free lists and the sharded in-flight scan in ./internal/core, the
+# owner-pop slot clearing in ./internal/deque, and the pooled spawn
+# wrappers of the three sorting packages.
+echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort"
+go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort
 
 echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
