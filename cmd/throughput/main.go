@@ -99,6 +99,7 @@ func main() {
 		maxInject  = flag.Int("max-inject", 0, "admission bound across all groups (Options.MaxInject; 0 = unbounded)")
 		batch      = flag.Int("batch", 1, "requests per submission (>1 uses the batched Runtime.SortMany)")
 		sweepStr   = flag.String("sweep", "", "comma-separated client counts; runs one measurement per count and reports the saturation knee")
+		mAddr      = flag.String("metrics-addr", "", "serve Prometheus-style /metrics on this address during the run (e.g. 127.0.0.1:9090; empty = off)")
 	)
 	flag.Parse()
 
@@ -161,9 +162,21 @@ func main() {
 	}
 	gen.Shutdown()
 
+	// The metrics endpoint outlives the per-point runtimes: each point swaps
+	// its fresh Runtime's registry into the long-lived server, so a scraper
+	// watches the whole run (and sweep) through one address.
+	var msrv *repro.MetricsServer
+	if *mAddr != "" {
+		if msrv, err = repro.ServeMetrics(*mAddr, nil); err != nil {
+			fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "throughput: metrics listening on %s\n", msrv.Addr())
+	}
+
 	var pts []pointJSON
 	for i, c := range points {
-		pts = append(pts, runPoint(cfg, i, c, *duration))
+		pts = append(pts, runPoint(cfg, i, c, *duration, msrv))
 	}
 	last := pts[len(pts)-1]
 
@@ -191,6 +204,7 @@ func main() {
 		Latency:        last.Latency,
 		Admission:      last.Admission,
 		PerAlgorithm:   last.PerAlgorithm,
+		Metrics:        last.Metrics,
 	}
 	if len(pts) > 1 {
 		rep.Sweep = pts
@@ -228,7 +242,8 @@ func main() {
 
 // runPoint runs the request mix with the given client count on a fresh
 // runtime and aggregates one measurement point.
-func runPoint(cfg runConfig, point, clients int, duration time.Duration) pointJSON {
+func runPoint(cfg runConfig, point, clients int, duration time.Duration,
+	msrv *repro.MetricsServer) pointJSON {
 	rt := repro.NewRuntime[int32](repro.Options{
 		P:                  cfg.p,
 		Seed:               cfg.seed,
@@ -236,6 +251,9 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration) pointJS
 		MaxInject:          cfg.maxInject,
 	})
 	defer rt.Close()
+	if msrv != nil {
+		msrv.SetRegistry(rt.Metrics())
+	}
 	batchOpt := repro.BatchOptions{MM: cfg.mmOpt, SS: cfg.ssOpt, MS: cfg.msOpt}
 
 	deadline := time.Now().Add(duration)
@@ -352,6 +370,10 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration) pointJS
 			})
 		}
 	}
+	// Flattened registry dump (captured before rt.Close tears the runtime
+	// down): scheduler counters, admission, per-group gauges, and the
+	// per-algorithm latency histogram summaries.
+	pt.Metrics = rt.Metrics().Values()
 	return pt
 }
 
@@ -449,20 +471,25 @@ type pointJSON struct {
 	Latency        latencyJSON   `json:"latency"`
 	Admission      admissionJSON `json:"admission"`
 	PerAlgorithm   []algoReport  `json:"per_algorithm,omitempty"`
+	// Metrics is the point's flattened metrics-registry dump
+	// (Registry.Values): one entry per series, histograms summarized as
+	// _count/_sum/p50/p90/p99.
+	Metrics map[string]float64 `json:"scheduler_metrics,omitempty"`
 }
 
 type report struct {
-	Config         configJSON    `json:"config"`
-	ElapsedSeconds float64       `json:"elapsed_seconds"`
-	Requests       int64         `json:"requests"`
-	Failures       int64         `json:"failures"`
-	RequestsPerSec float64       `json:"requests_per_second"`
-	PeakInflight   int64         `json:"peak_inflight_requests"`
-	Latency        latencyJSON   `json:"latency"`
-	Admission      admissionJSON `json:"admission"`
-	PerAlgorithm   []algoReport  `json:"per_algorithm"`
-	Sweep          []pointJSON   `json:"sweep,omitempty"`
-	KneeClients    int           `json:"saturation_knee_clients,omitempty"`
+	Config         configJSON         `json:"config"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Requests       int64              `json:"requests"`
+	Failures       int64              `json:"failures"`
+	RequestsPerSec float64            `json:"requests_per_second"`
+	PeakInflight   int64              `json:"peak_inflight_requests"`
+	Latency        latencyJSON        `json:"latency"`
+	Admission      admissionJSON      `json:"admission"`
+	PerAlgorithm   []algoReport       `json:"per_algorithm"`
+	Metrics        map[string]float64 `json:"scheduler_metrics,omitempty"`
+	Sweep          []pointJSON        `json:"sweep,omitempty"`
+	KneeClients    int                `json:"saturation_knee_clients,omitempty"`
 }
 
 func latencyOf(s *stats.Sample) latencyJSON {

@@ -15,13 +15,13 @@ func (s *Scheduler) DumpState() string {
 		defer s.admitMu.Unlock()
 		return s.pendingInject.Load(), s.ringLen
 	}()
-	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d\n",
-		s.inflightSum(), injected, sources)
+	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d quiesce_scans=%d\n",
+		s.inflightSum(), injected, sources, s.QuiesceScans())
 	for _, w := range s.workers {
 		r := w.regw.Load()
 		c := w.coordp()
 		cur := w.cur.Load()
-		fmt.Fprintf(&b, "w%-3d coord=%-3d reg=%v q=[", w.id, c.id, r)
+		fmt.Fprintf(&b, "w%-3d coord=%-3d reg=%v free=%d q=[", w.id, c.id, r, w.freeLen.Load())
 		for j, q := range w.queues {
 			if j > 0 {
 				b.WriteByte(' ')

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -38,5 +40,19 @@ func TestManyTeamTasksDump(t *testing.T) {
 	runWithDeadline(t, s, 10*time.Second, s.Wait)
 	if got := execs.Load(); got != want {
 		t.Fatalf("participant executions = %d, want %d", got, want)
+	}
+	// The dump carries the observability fields: the quiescence-scan count
+	// (stable once Wait returned and no waiter is parked — Wait itself ran at
+	// least one scan) and each worker's free-list occupancy.
+	scans := s.QuiesceScans()
+	if scans < 1 {
+		t.Fatalf("QuiesceScans = %d after Wait, want >= 1", scans)
+	}
+	dump := s.DumpState()
+	if want := fmt.Sprintf("quiesce_scans=%d", scans); !strings.Contains(dump, want) {
+		t.Fatalf("dump lacks %q:\n%s", want, dump)
+	}
+	if !strings.Contains(dump, " free=") {
+		t.Fatalf("dump lacks per-worker free-list occupancy:\n%s", dump)
 	}
 }

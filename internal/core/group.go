@@ -33,6 +33,10 @@ import (
 type Group struct {
 	s *Scheduler
 
+	// name labels the group in the metrics registry (NewNamedGroup);
+	// anonymous groups leave it empty and are invisible to metrics.
+	name string
+
 	// inflight is the group's task count, updated by every completion of a
 	// task in the group. Unlike the scheduler-global count it stays a single
 	// atomic — groups are per-client, not per-task-tree-node, so the
@@ -50,6 +54,23 @@ type Group struct {
 
 // NewGroup returns a fresh, empty task group on s.
 func (s *Scheduler) NewGroup() *Group { return &Group{s: s} }
+
+// NewNamedGroup returns a fresh task group labeled name and registers it
+// with the scheduler's metrics surface: the per-group gauge families of
+// Metrics (pending tasks, inject-queue depth) emit one series per distinct
+// name, summing groups that share a name. Named groups are meant for
+// long-lived clients — the scheduler keeps a reference for the lifetime of
+// the scheduler, so do not create unbounded numbers of them.
+func (s *Scheduler) NewNamedGroup(name string) *Group {
+	g := &Group{s: s, name: name}
+	s.groupsMu.Lock()
+	s.namedGroups = append(s.namedGroups, g)
+	s.groupsMu.Unlock()
+	return g
+}
+
+// Name returns the label given at NewNamedGroup ("" for anonymous groups).
+func (g *Group) Name() string { return g.name }
 
 // Scheduler returns the scheduler the group spawns into.
 func (g *Group) Scheduler() *Scheduler { return g.s }

@@ -7,6 +7,7 @@ package core
 // as takes, not spawns.
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,6 +25,12 @@ func TestSpawnZeroAlloc(t *testing.T) {
 	}
 	s := New(Options{P: 2})
 	defer s.Shutdown()
+	// The metrics surface must not change the hot path: build the registry
+	// (closures over the live counters) and render it once up front, then
+	// measure with the instrumentation in place.
+	if out := s.Metrics().Render(); !strings.Contains(out, "repro_sched_tasks_total") {
+		t.Fatalf("metrics render lacks scheduler counters:\n%s", out)
+	}
 	const k = 64
 	ct := &benchCountdown{}
 	start := make(chan struct{})

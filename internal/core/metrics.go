@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Metrics surface of the scheduler: every counter the workers and the
+// admission path already keep, re-homed into a stats.Registry as scrapeable
+// Prometheus-style families. Registration hands the registry closures over
+// the live atomics — nothing on any task path changes, and every value is
+// read fresh at scrape time.
+
+// schedCounters maps each per-worker stats counter to one registry family
+// (summed across workers at scrape time).
+var schedCounters = []struct {
+	name, help string
+	get        func(w *stats.Worker) *atomic.Int64
+}{
+	{"repro_sched_tasks_total", "Tasks executed (team tasks count once per participant).",
+		func(w *stats.Worker) *atomic.Int64 { return &w.TasksRun }},
+	{"repro_sched_team_tasks_total", "Task executions that were part of a team of size > 1.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.TeamTasksRun }},
+	{"repro_sched_teams_formed_total", "Teams fixed by a coordinator.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.TeamsFormed }},
+	{"repro_sched_coordinations_total", "Coordination rounds entered.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.TeamsCoordd }},
+	{"repro_sched_spawns_total", "Tasks pushed to local queues by interior spawns.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Spawns }},
+	{"repro_sched_steals_total", "Successful steal operations (>= 1 task).",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Steals }},
+	{"repro_sched_tasks_stolen_total", "Tasks transferred by steals.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.TasksStolen }},
+	{"repro_sched_steal_attempts_total", "Steal rounds attempted.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.StealAttempts }},
+	{"repro_sched_failed_steal_attempts_total", "Steal rounds that found no work.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.FailedAttempts }},
+	{"repro_sched_registrations_total", "Successful team registrations at a coordinator.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Registrations }},
+	{"repro_sched_deregistrations_total", "Team deregistrations.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Deregistrations }},
+	{"repro_sched_revocations_total", "Registrations found revoked (epoch change).",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Revocations }},
+	{"repro_sched_conflicts_lost_total", "Coordination conflicts yielded to another coordinator.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.ConflictsLost }},
+	{"repro_sched_cas_failures_total", "Failed CAS operations on registration words.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.CASFailures }},
+	{"repro_sched_backoffs_total", "Backoff waits.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Backoffs }},
+	{"repro_sched_polls_total", "Partner-poll invocations.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.Polls }},
+	{"repro_sched_inject_takes_total", "Tasks taken from the inject queues by workers.",
+		func(w *stats.Worker) *atomic.Int64 { return &w.InjectTakes }},
+}
+
+// RegisterMetrics adds the scheduler's metric families to reg. Several
+// registries may observe one scheduler (e.g. each Runtime on a shared
+// scheduler builds its own), so this may be called more than once with
+// different registries; calling it twice with the same registry panics on
+// the duplicate series.
+func (s *Scheduler) RegisterMetrics(reg *stats.Registry) {
+	for _, c := range schedCounters {
+		get := c.get
+		reg.CounterFunc(c.name, c.help, nil, func() float64 {
+			var total int64
+			for _, w := range s.workers {
+				total += get(&w.st).Load()
+			}
+			return float64(total)
+		})
+	}
+	reg.CounterFunc("repro_sched_quiesce_scans_total",
+		"Quiescence sum-scans run (worker completion paths plus external waiters).",
+		nil, func() float64 { return float64(s.QuiesceScans()) })
+
+	reg.GaugeFunc("repro_sched_workers", "Workers of the scheduler.",
+		nil, func() float64 { return float64(s.topo.P) })
+	reg.GaugeFunc("repro_sched_inflight_tasks",
+		"In-flight tasks (racy sharded sum; exact only at quiescence).",
+		nil, func() float64 { return float64(s.inflightSum()) })
+	reg.GaugeFunc("repro_sched_inject_queue_depth",
+		"Admitted external tasks no worker has started yet, across all sources.",
+		nil, func() float64 { return float64(s.pendingInject.Load()) })
+	reg.GaugeFunc("repro_sched_inject_sources",
+		"Submission sources currently holding pending injected tasks.",
+		nil, func() float64 {
+			s.admitMu.Lock()
+			defer s.admitMu.Unlock()
+			return float64(s.ringLen)
+		})
+	for _, w := range s.workers {
+		w := w
+		reg.GaugeFunc("repro_sched_freelist_nodes",
+			"Recycled task nodes parked on a worker's free list.",
+			[]stats.Label{{Name: "worker", Value: strconv.Itoa(w.id)}},
+			func() float64 { return float64(w.freeLen.Load()) })
+	}
+
+	reg.CounterFunc("repro_admission_injected_total",
+		"External tasks admitted into the inject queues.",
+		nil, func() float64 { return float64(s.admit.Injected.Load()) })
+	reg.CounterFunc("repro_admission_taken_total",
+		"Admitted tasks moved onto worker queues.",
+		nil, func() float64 { return float64(s.admit.Taken.Load()) })
+	reg.CounterFunc("repro_admission_rejected_total",
+		"Tasks refused by a non-blocking spawn (ErrSaturated).",
+		nil, func() float64 { return float64(s.admit.Rejected.Load()) })
+	reg.CounterFunc("repro_admission_blocked_spawns_total",
+		"Blocking spawn calls that had to park for inject room.",
+		nil, func() float64 { return float64(s.admit.BlockedSpawns.Load()) })
+	reg.GaugeFunc("repro_admission_peak_pending",
+		"High-water mark of pending injected tasks.",
+		nil, func() float64 { return float64(s.admit.PeakPending.Load()) })
+
+	reg.GaugeDynamic("repro_group_pending_tasks",
+		"In-flight tasks of each named group (groups sharing a name are summed).",
+		func(emit func([]stats.Label, float64)) {
+			s.groupsMu.Lock()
+			defer s.groupsMu.Unlock()
+			for _, g := range s.namedGroups {
+				emit([]stats.Label{{Name: "group", Value: g.name}}, float64(g.inflight.Load()))
+			}
+		})
+	reg.GaugeDynamic("repro_group_inject_queue_depth",
+		"Admitted-but-not-started tasks of each named group's inject queue.",
+		func(emit func([]stats.Label, float64)) {
+			s.groupsMu.Lock()
+			defer s.groupsMu.Unlock()
+			s.admitMu.Lock()
+			defer s.admitMu.Unlock()
+			for _, g := range s.namedGroups {
+				emit([]stats.Label{{Name: "group", Value: g.name}}, float64(g.iq.pending()))
+			}
+		})
+}
+
+// Metrics returns the scheduler's metrics registry, built once on first
+// call. The registry renders the Prometheus text exposition format
+// (Render/WriteText/ServeHTTP); named groups created after this call still
+// appear — their gauge families are collected at scrape time.
+func (s *Scheduler) Metrics() *stats.Registry {
+	s.metricsOnce.Do(func() {
+		reg := stats.NewRegistry()
+		s.RegisterMetrics(reg)
+		s.metricsReg = reg
+	})
+	return s.metricsReg
+}

@@ -44,6 +44,7 @@ func (w *worker) getNode() *node {
 		n := w.free[k]
 		w.free[k] = nil
 		w.free = w.free[:k]
+		w.freeLen.Store(int64(k))
 		return n
 	}
 	return sharedNodes.Get().(*node)
@@ -56,6 +57,7 @@ func (w *worker) freeNode(n *node) {
 	n.task, n.group = nil, nil
 	if len(w.free) < nodeFreeCap {
 		w.free = append(w.free, n)
+		w.freeLen.Store(int64(len(w.free)))
 		return
 	}
 	for i := nodeFreeLow; i < len(w.free); i++ {
@@ -63,6 +65,7 @@ func (w *worker) freeNode(n *node) {
 		w.free[i] = nil
 	}
 	w.free = w.free[:nodeFreeLow]
+	w.freeLen.Store(nodeFreeLow)
 	sharedNodes.Put(n)
 }
 

@@ -75,6 +75,21 @@ type Scheduler struct {
 	ringLen      int        // non-empty sources in the ring (diagnostics)
 	noGroupQ     injectQ    // source for group-less Scheduler.Spawn
 	admit        stats.Admission
+
+	// waiterScans counts quiescence sum-scans run by external waiters
+	// (Scheduler.Wait); scans run on worker completion paths land on the
+	// per-worker stats.QuiesceScans counters instead, so the hot path never
+	// writes this shared line.
+	waiterScans atomic.Int64
+
+	// Named groups (NewNamedGroup), tracked for the per-group metrics
+	// gauges; anonymous groups are not tracked.
+	groupsMu    sync.Mutex
+	namedGroups []*Group
+
+	// Metrics registry, built once on first use (see metrics.go).
+	metricsOnce sync.Once
+	metricsReg  *stats.Registry
 }
 
 // New starts a scheduler with p workers. The workers idle (with capped
@@ -149,11 +164,11 @@ func (s *Scheduler) Spawn(t Task) {
 // and would never drain.
 func (s *Scheduler) Wait() {
 	for {
-		if s.done.Load() || s.quiescent() {
+		if s.done.Load() || s.waiterScan() {
 			return
 		}
 		ch := s.qz.gate()
-		if s.done.Load() || s.quiescent() {
+		if s.done.Load() || s.waiterScan() {
 			return
 		}
 		select {
@@ -209,6 +224,26 @@ func (s *Scheduler) WorkerStats() []stats.Snapshot {
 // external submission path (see admission.go).
 func (s *Scheduler) Admission() stats.AdmissionSnapshot { return s.admit.Snapshot() }
 
+// waiterScan runs one counted quiescence scan on behalf of an external
+// waiter. Waiters are off the task hot path, so the shared counter is fine
+// here; worker-side scans (taskDone) count on the worker's own stats line.
+func (s *Scheduler) waiterScan() bool {
+	s.waiterScans.Add(1)
+	return s.quiescent()
+}
+
+// QuiesceScans returns the total number of quiescence sum-scans run so far,
+// across worker completion paths and external waiters. Scans are elided
+// entirely while no waiter is parked, so this also measures how often the
+// armed-gate optimization actually fires.
+func (s *Scheduler) QuiesceScans() int64 {
+	total := s.waiterScans.Load()
+	for _, w := range s.workers {
+		total += w.st.QuiesceScans.Load()
+	}
+	return total
+}
+
 // Pending returns the current number of in-flight tasks (racy; for tests
 // and diagnostics — individual shard reads are atomic but the sum is not a
 // single snapshot, so a live scheduler may even report a transient
@@ -252,8 +287,11 @@ func (s *Scheduler) makeNode(t Task, g *Group) *node {
 func (w *worker) taskDone(g *Group) {
 	w.inflightAdd(-1)
 	s := w.sched
-	if s.qz.armed() && s.quiescent() {
-		s.qz.release()
+	if s.qz.armed() {
+		w.st.QuiesceScans.Add(1) // owner-only line: no shared write added
+		if s.quiescent() {
+			s.qz.release()
+		}
 	}
 	if g != nil {
 		if g.inflight.Add(-1) == 0 {

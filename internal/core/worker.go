@@ -59,6 +59,12 @@ type worker struct {
 	free        []*node
 	ctxFree     []*Ctx
 
+	// freeLen mirrors len(free) for concurrent readers (metrics gauges,
+	// DumpState): the owner stores it after every free-list mutation — a
+	// plain atomic store on a worker-owned line — so scrapers never race on
+	// the slice header itself.
+	freeLen atomic.Int64
+
 	rngState uint64
 }
 

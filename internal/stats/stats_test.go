@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -50,6 +52,133 @@ func TestConcurrentCounting(t *testing.T) {
 	wg.Wait()
 	if got := w.TasksRun.Load(); got != 8000 {
 		t.Fatalf("TasksRun = %d", got)
+	}
+}
+
+var atomicInt64Type = reflect.TypeOf(atomic.Int64{})
+
+// workerCounterFields returns the names of every atomic.Int64 counter of
+// Worker (skipping padding) via reflection, so the exhaustiveness tests
+// below pick up counters added later without being edited.
+func workerCounterFields(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	wt := reflect.TypeOf(Worker{})
+	for i := 0; i < wt.NumField(); i++ {
+		f := wt.Field(i)
+		if f.Type == atomicInt64Type {
+			if !f.IsExported() {
+				t.Fatalf("Worker counter %q is unexported", f.Name)
+			}
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// TestWorkerSnapshotExhaustive gives every Worker counter a distinct value
+// and checks Snapshot carries each one over under the same field name —
+// a counter added to Worker but forgotten in Snapshot (or the Snapshot
+// method) fails here, without the test naming any field.
+func TestWorkerSnapshotExhaustive(t *testing.T) {
+	var w Worker
+	wv := reflect.ValueOf(&w).Elem()
+	names := workerCounterFields(t)
+	for i, name := range names {
+		wv.FieldByName(name).Addr().Interface().(*atomic.Int64).Store(int64(100 + i))
+	}
+	snap := w.Snapshot()
+	sv := reflect.ValueOf(snap)
+	if got, want := sv.NumField(), len(names); got != want {
+		t.Fatalf("Snapshot has %d fields, Worker has %d counters", got, want)
+	}
+	for i, name := range names {
+		f := sv.FieldByName(name)
+		if !f.IsValid() {
+			t.Fatalf("Snapshot lacks field %q", name)
+		}
+		if got, want := f.Int(), int64(100+i); got != want {
+			t.Fatalf("Snapshot.%s = %d, want %d (dropped by Snapshot())", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotAddExhaustive checks Add accumulates every Snapshot field: a
+// field missed by Add stays zero instead of doubling.
+func TestSnapshotAddExhaustive(t *testing.T) {
+	var a Snapshot
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(7 + i))
+	}
+	var total Snapshot
+	total.Add(a)
+	total.Add(a)
+	tv := reflect.ValueOf(total)
+	for i := 0; i < tv.NumField(); i++ {
+		if got, want := tv.Field(i).Int(), int64(2*(7+i)); got != want {
+			t.Fatalf("after two Adds, %s = %d, want %d (missed by Add)",
+				tv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestSumExhaustive checks Sum covers every field across workers.
+func TestSumExhaustive(t *testing.T) {
+	ws := []*Worker{{}, {}}
+	names := workerCounterFields(t)
+	for wi, w := range ws {
+		wv := reflect.ValueOf(w).Elem()
+		for i, name := range names {
+			wv.FieldByName(name).Addr().Interface().(*atomic.Int64).Store(int64((wi + 1) * (i + 1)))
+		}
+	}
+	sv := reflect.ValueOf(Sum(ws))
+	for i, name := range names {
+		if got, want := sv.FieldByName(name).Int(), int64(3*(i+1)); got != want {
+			t.Fatalf("Sum.%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestAdmissionSnapshotExhaustive gives every Admission counter a distinct
+// value and checks the snapshot covers every one of its own fields: same-
+// named fields copy through, and the derived Pending is Injected − Taken.
+func TestAdmissionSnapshotExhaustive(t *testing.T) {
+	var a Admission
+	at := reflect.TypeOf(&a).Elem()
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < at.NumField(); i++ {
+		if at.Field(i).Type != atomicInt64Type {
+			t.Fatalf("Admission field %q is not atomic.Int64", at.Field(i).Name)
+		}
+		av.Field(i).Addr().Interface().(*atomic.Int64).Store(int64(1000 + 10*i))
+	}
+	snap := a.Snapshot()
+	sv := reflect.ValueOf(snap)
+	st := sv.Type()
+	covered := 0
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		got := sv.Field(i).Int()
+		if name == "Pending" {
+			if want := snap.Injected - snap.Taken; got != want {
+				t.Fatalf("Pending = %d, want Injected−Taken = %d", got, want)
+			}
+			covered++
+			continue
+		}
+		src := av.FieldByName(name)
+		if !src.IsValid() {
+			t.Fatalf("AdmissionSnapshot field %q has no Admission counterpart", name)
+		}
+		if want := src.Addr().Interface().(*atomic.Int64).Load(); got != want {
+			t.Fatalf("AdmissionSnapshot.%s = %d, want %d", name, got, want)
+		}
+		covered++
+	}
+	if covered != at.NumField()+1 { // every counter + the derived Pending
+		t.Fatalf("snapshot covers %d fields, want %d", covered, at.NumField()+1)
 	}
 }
 

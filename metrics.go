@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics is a registry of metric families rendering the Prometheus text
+// exposition format (version 0.0.4) without external dependencies. Obtain
+// one from Runtime.Metrics or Scheduler.Metrics, or build your own with
+// NewMetrics and Scheduler.RegisterMetrics, then expose it with
+// ServeMetrics or embed it in an existing HTTP mux (a *Metrics is an
+// http.Handler).
+type Metrics = stats.Registry
+
+// MetricLabel is one name/value label of a metric series.
+type MetricLabel = stats.Label
+
+// NewMetrics returns an empty metrics registry for callers composing their
+// own metric families beside the scheduler's.
+func NewMetrics() *Metrics { return stats.NewRegistry() }
+
+// MetricsServer is a minimal HTTP server exposing one Metrics registry at
+// /metrics. The registry may be installed (and swapped) after the server is
+// already listening — cmd/throughput swaps in each measurement point's
+// fresh Runtime — and scrapes racing a swap see either registry, never a
+// torn one.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+	reg atomic.Pointer[stats.Registry]
+}
+
+// ServeMetrics listens on addr (e.g. ":9090", or "127.0.0.1:0" for an
+// ephemeral port — read the chosen one back with Addr) and serves reg at
+// /metrics. A nil reg is allowed: the endpoint answers 503 until
+// SetRegistry installs one. Release the port with Close.
+func ServeMetrics(addr string, reg *Metrics) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &MetricsServer{ln: ln}
+	if reg != nil {
+		m.reg.Store(reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handle)
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln)
+	return m, nil
+}
+
+func (m *MetricsServer) handle(w http.ResponseWriter, req *http.Request) {
+	reg := m.reg.Load()
+	if reg == nil {
+		http.Error(w, "metrics: no registry installed", http.StatusServiceUnavailable)
+		return
+	}
+	reg.ServeHTTP(w, req)
+}
+
+// Addr returns the listening address (resolving ":0" to the chosen port).
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// URL returns the full scrape URL of the /metrics endpoint.
+func (m *MetricsServer) URL() string { return "http://" + m.Addr() + "/metrics" }
+
+// SetRegistry installs (or replaces) the served registry. Safe to call
+// concurrently with scrapes.
+func (m *MetricsServer) SetRegistry(reg *Metrics) { m.reg.Store(reg) }
+
+// Close shuts the server down, gracefully draining in-flight scrapes for up
+// to two seconds before closing their connections.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := m.srv.Shutdown(ctx)
+	if err != nil {
+		m.srv.Close()
+	}
+	return err
+}

@@ -1,10 +1,15 @@
 package repro
 
 import (
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/msort"
 	"repro/internal/qsort"
 	"repro/internal/ssort"
+	"repro/internal/stats"
 )
 
 // Runtime is a long-lived sorting service over one shared Scheduler: many
@@ -22,6 +27,94 @@ import (
 type Runtime[T Ordered] struct {
 	s     *Scheduler
 	owned bool // whether Close shuts the scheduler down
+	m     runtimeMetrics
+}
+
+// numSortAlgos is the number of SortAlgo values (the metrics arrays below
+// are indexed by SortAlgo).
+const numSortAlgos = 4
+
+// sortAlgoNames labels each SortAlgo in the metrics registry, matching the
+// harness column names used across the benchmark tooling.
+var sortAlgoNames = [numSortAlgos]string{"mmpar", "fork", "ssort", "msort"}
+
+// runtimeMetrics instruments a Runtime's sort requests: one end-to-end
+// latency histogram and one in-flight gauge per algorithm. Requests only
+// touch a sharded histogram (shard picked by a round-robin ticket — one
+// shared atomic add per request, not per task; the per-task hot path inside
+// the scheduler stays untouched) and the algorithm's in-flight counter.
+type runtimeMetrics struct {
+	initOnce sync.Once
+	regOnce  sync.Once
+	reg      *stats.Registry
+	hist     [numSortAlgos]*stats.Histogram
+	inflight [numSortAlgos]atomic.Int64
+	rr       atomic.Uint32 // round-robin histogram shard ticket
+}
+
+// init creates the histograms (shards sized to the scheduler). Called from
+// every instrumentation site, so a Runtime built directly with a struct
+// literal needs no constructor hook.
+func (m *runtimeMetrics) init(p int) {
+	m.initOnce.Do(func() {
+		shards := p
+		if shards > 16 {
+			shards = 16
+		}
+		for a := range m.hist {
+			m.hist[a] = stats.NewHistogram(shards)
+		}
+	})
+}
+
+// begin records the start of one sort request of algorithm a, returning the
+// histogram shard and start time for end.
+func (m *runtimeMetrics) begin(a SortAlgo, p int) (int, time.Time) {
+	m.init(p)
+	m.inflight[a].Add(1)
+	return int(m.rr.Add(1)), time.Now()
+}
+
+// end records the completion of a request started by begin.
+func (m *runtimeMetrics) end(a SortAlgo, shard int, t0 time.Time) {
+	m.hist[a].ObserveDuration(shard, time.Since(t0))
+	m.inflight[a].Add(-1)
+}
+
+// Metrics returns the Runtime's metrics registry: the underlying
+// scheduler's full metric surface (worker counters, admission, quiescence
+// scans, free lists, named groups) plus the Runtime's own per-algorithm
+// families — repro_sort_latency_seconds{algo=...} end-to-end latency
+// histograms, repro_sorts_total{algo=...} request counters, and
+// repro_group_pending_sorts{group=...} in-flight gauges (one quiescence
+// group per request, labeled by the algorithm the group ran).
+//
+// The registry is built once per Runtime and reads live state at scrape
+// time; expose it with ServeMetrics or any HTTP mux. Runtimes sharing one
+// scheduler each build their own registry, so their per-algorithm series
+// stay separate while the scheduler families repeat.
+func (r *Runtime[T]) Metrics() *Metrics {
+	r.m.init(r.s.P())
+	r.m.regOnce.Do(func() {
+		reg := stats.NewRegistry()
+		r.s.RegisterMetrics(reg)
+		for a := range sortAlgoNames {
+			a := a
+			algoLbl := []stats.Label{{Name: "algo", Value: sortAlgoNames[a]}}
+			reg.Histogram("repro_sort_latency_seconds",
+				"End-to-end latency of Runtime sort requests.",
+				algoLbl, r.m.hist[a])
+			reg.CounterFunc("repro_sorts_total",
+				"Completed Runtime sort requests.",
+				algoLbl, func() float64 { return float64(r.m.hist[a].Snapshot().Count) })
+			reg.GaugeFunc("repro_group_pending_sorts",
+				"Sort requests currently in flight, by the algorithm their quiescence group runs.",
+				[]stats.Label{{Name: "group", Value: sortAlgoNames[a]}},
+				func() float64 { return float64(r.m.inflight[a].Load()) })
+		}
+		r.m.reg = reg
+	})
+	return r.m.reg
 }
 
 // NewRuntime starts a scheduler with opts.P workers (default NumCPU) and
@@ -57,25 +150,33 @@ func (r *Runtime[T]) Close() {
 // (Algorithm 11) as an independent group on the shared scheduler. It blocks
 // until data is sorted; concurrent calls proceed independently.
 func (r *Runtime[T]) SortMixedMode(data []T, opt MMOptions) {
+	shard, t0 := r.m.begin(AlgoMixedMode, r.s.P())
 	qsort.MixedMode(r.s, data, opt)
+	r.m.end(AlgoMixedMode, shard, t0)
 }
 
 // SortForkJoin sorts data with the task-parallel Quicksort (Algorithm 10)
 // as an independent group on the shared scheduler.
 func (r *Runtime[T]) SortForkJoin(data []T) {
+	shard, t0 := r.m.begin(AlgoForkJoin, r.s.P())
 	qsort.ForkJoinCore(r.s, data, qsort.DefaultCutoff)
+	r.m.end(AlgoForkJoin, shard, t0)
 }
 
 // SortSamplesort sorts data with the mixed-mode parallel samplesort as an
 // independent group on the shared scheduler.
 func (r *Runtime[T]) SortSamplesort(data []T, opt SSOptions) {
+	shard, t0 := r.m.begin(AlgoSamplesort, r.s.P())
 	ssort.Sort(r.s, data, opt)
+	r.m.end(AlgoSamplesort, shard, t0)
 }
 
 // SortMergeMixedMode sorts data with the mixed-mode parallel merge sort as
 // an independent group on the shared scheduler.
 func (r *Runtime[T]) SortMergeMixedMode(data []T, opt MSOptions) {
+	shard, t0 := r.m.begin(AlgoMergeMixedMode, r.s.P())
 	msort.Sort(r.s, data, opt)
+	r.m.end(AlgoMergeMixedMode, shard, t0)
 }
 
 // SortAlgo selects the algorithm of one SortMany request. The zero value is
@@ -124,26 +225,44 @@ type BatchOptions struct {
 func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
 	maxTeam := r.s.MaxTeam()
 	ts := make([]core.Task, 0, len(reqs))
+	var perAlgo [numSortAlgos]uint64
 	for _, rq := range reqs {
 		var t core.Task
+		a := AlgoMixedMode
 		switch rq.Algo {
 		case AlgoForkJoin:
-			t = qsort.ForkJoinRoot(rq.Data, opt.Cutoff)
+			t, a = qsort.ForkJoinRoot(rq.Data, opt.Cutoff), AlgoForkJoin
 		case AlgoSamplesort:
-			t = ssort.Root(maxTeam, rq.Data, opt.SS)
+			t, a = ssort.Root(maxTeam, rq.Data, opt.SS), AlgoSamplesort
 		case AlgoMergeMixedMode:
-			t = msort.Root(rq.Data, opt.MS)
+			t, a = msort.Root(rq.Data, opt.MS), AlgoMergeMixedMode
 		default:
 			t = qsort.MixedModeRoot(maxTeam, rq.Data, opt.MM)
 		}
 		if t != nil { // nil: nothing to sort (len < 2)
 			ts = append(ts, t)
+			perAlgo[a]++
 		}
 	}
 	if len(ts) == 0 {
 		return
 	}
+	r.m.init(r.s.P())
+	for a, n := range perAlgo {
+		r.m.inflight[a].Add(int64(n))
+	}
+	shard, t0 := int(r.m.rr.Add(1)), time.Now()
 	g := r.s.NewGroup()
 	g.SpawnBatch(ts)
 	g.Wait()
+	// Each request of the batch completes (as observed by the caller) when
+	// the whole group drains, so the batch duration is every request's
+	// end-to-end latency.
+	elapsed := time.Since(t0).Seconds()
+	for a, n := range perAlgo {
+		if n > 0 {
+			r.m.hist[a].ObserveN(shard, elapsed, n)
+			r.m.inflight[a].Add(-int64(n))
+		}
+	}
 }

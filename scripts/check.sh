@@ -27,14 +27,50 @@ go test ./...
 # ./internal/core, the Runtime-level bounded-flood and SortMany tests in
 # the root package) plus the hot-path recycling machinery: the node/ctx
 # free lists and the sharded in-flight scan in ./internal/core, the
-# owner-pop slot clearing in ./internal/deque, and the pooled spawn
-# wrappers of the three sorting packages.
-echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort"
-go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort
+# owner-pop slot clearing in ./internal/deque, the pooled spawn
+# wrappers of the three sorting packages, and the seqlock-stamped
+# histogram/registry read paths in ./internal/stats.
+echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats"
+go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats
 
 echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
   -sizes 65536 -dists random -algos mmpar,fork > /dev/null
+
+echo "check: metrics exposition smoke (/metrics scraped mid-run)"
+metricsdir=$(mktemp -d)
+tp_pid=""
+cleanup_metrics() {
+  [[ -n "${tp_pid}" ]] && kill "${tp_pid}" 2>/dev/null || true
+  rm -rf "${metricsdir}"
+}
+trap cleanup_metrics EXIT
+go build -o "${metricsdir}/metricscheck" ./scripts/metricscheck
+go run ./cmd/throughput -clients 4 -sizes 65536 -dists random -algos mmpar,fork \
+  -duration 3s -metrics-addr 127.0.0.1:0 \
+  > "${metricsdir}/tp.json" 2> "${metricsdir}/tp.err" &
+tp_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^throughput: metrics listening on //p' "${metricsdir}/tp.err" | head -n1)
+  [[ -n "${addr}" ]] && break
+  if ! kill -0 "${tp_pid}" 2>/dev/null; then
+    echo "check: FAIL (throughput exited before advertising its metrics address)"
+    cat "${metricsdir}/tp.err"
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${addr}" ]]; then
+  echo "check: FAIL (no metrics address advertised)"
+  cat "${metricsdir}/tp.err"
+  exit 1
+fi
+"${metricsdir}/metricscheck" -retry 5s \
+  -require repro_sched_steals_total,repro_sched_inject_takes_total,repro_sched_quiesce_scans_total,repro_admission_injected_total,repro_group_pending_sorts,repro_sort_latency_seconds_bucket \
+  "http://${addr}/metrics"
+wait "${tp_pid}"
+tp_pid=""
 
 echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
 BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh
