@@ -13,7 +13,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats
+	go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace
 
 # Full verification gate: build, vet, test, race.
 check:

@@ -23,6 +23,15 @@
 // Runtime.SortMany (one admission-lock acquisition per batch) instead of
 // one Sort* call per request; latency samples are then per batch.
 //
+// Observability: -trace-out f records an execution trace of the last
+// measurement point and writes it as Chrome trace-event JSON to f (load in
+// Perfetto or chrome://tracing; scripts/tracecheck validates it).
+// -profile-hz r runs the worker-state sampling profiler during every point,
+// surfacing the running/stealing/parked breakdown through the
+// repro_worker_state_samples_total metric families. With -metrics-addr set,
+// /debug/trace captures a bounded trace window of the current point on
+// demand.
+//
 // Usage:
 //
 //	throughput -clients 8 -duration 3s
@@ -30,6 +39,7 @@
 //	throughput -clients 64 -max-inject 16 -max-pending 2
 //	throughput -sweep 1,2,4,8,16,32 -duration 1s
 //	throughput -batch 8 -algos mmpar,ssort
+//	throughput -clients 4 -duration 1s -trace-out trace.json -profile-hz 199
 package main
 
 import (
@@ -78,6 +88,7 @@ type runConfig struct {
 	algos      []harness.Algorithm
 	reqs       []request
 	maxSize    int
+	profileHz  float64
 	mmOpt      repro.MMOptions
 	ssOpt      repro.SSOptions
 	msOpt      repro.MSOptions
@@ -100,6 +111,8 @@ func main() {
 		batch      = flag.Int("batch", 1, "requests per submission (>1 uses the batched Runtime.SortMany)")
 		sweepStr   = flag.String("sweep", "", "comma-separated client counts; runs one measurement per count and reports the saturation knee")
 		mAddr      = flag.String("metrics-addr", "", "serve Prometheus-style /metrics on this address during the run (e.g. 127.0.0.1:9090; empty = off)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the last measurement point to this file (empty = off)")
+		profileHz  = flag.Float64("profile-hz", 0, "sample worker states at this rate during each point (0 = off)")
 	)
 	flag.Parse()
 
@@ -139,6 +152,7 @@ func main() {
 		maxPending: *maxPending,
 		maxInject:  *maxInject,
 		algos:      algos,
+		profileHz:  *profileHz,
 		mmOpt:      repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk},
 		ssOpt:      repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
 		msOpt:      repro.MSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
@@ -176,7 +190,11 @@ func main() {
 
 	var pts []pointJSON
 	for i, c := range points {
-		pts = append(pts, runPoint(cfg, i, c, *duration, msrv))
+		tOut := ""
+		if *traceOut != "" && i == len(points)-1 {
+			tOut = *traceOut // trace the last (usually most loaded) point
+		}
+		pts = append(pts, runPoint(cfg, i, c, *duration, msrv, tOut))
 	}
 	last := pts[len(pts)-1]
 
@@ -243,7 +261,7 @@ func main() {
 // runPoint runs the request mix with the given client count on a fresh
 // runtime and aggregates one measurement point.
 func runPoint(cfg runConfig, point, clients int, duration time.Duration,
-	msrv *repro.MetricsServer) pointJSON {
+	msrv *repro.MetricsServer, traceOut string) pointJSON {
 	rt := repro.NewRuntime[int32](repro.Options{
 		P:                  cfg.p,
 		Seed:               cfg.seed,
@@ -253,6 +271,14 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 	defer rt.Close()
 	if msrv != nil {
 		msrv.SetRegistry(rt.Metrics())
+		msrv.SetTraceSource(rt.Scheduler())
+	}
+	if cfg.profileHz > 0 {
+		rt.StartProfiler(cfg.profileHz)
+		defer rt.StopProfiler()
+	}
+	if traceOut != "" {
+		rt.StartTrace()
 	}
 	batchOpt := repro.BatchOptions{MM: cfg.mmOpt, SS: cfg.ssOpt, MS: cfg.msOpt}
 
@@ -322,6 +348,14 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if traceOut != "" {
+		rt.StopTrace()
+		if err := writeTraceFile(rt, traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "throughput: wrote Chrome trace to %s (%d events dropped to ring overflow)\n",
+			traceOut, rt.Scheduler().TraceDropped())
+	}
 
 	// Fold the per-client samples.
 	var overall stats.Sample
@@ -375,6 +409,19 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 	// per-algorithm latency histogram summaries.
 	pt.Metrics = rt.Metrics().Values()
 	return pt
+}
+
+// writeTraceFile dumps the runtime's recorded execution trace to path.
+func writeTraceFile(rt *repro.Runtime[int32], path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // knee returns the clients value of the first sweep point whose throughput

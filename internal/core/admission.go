@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/trace"
+)
 
 // This file implements the admission-control half of the external submission
 // path. Externally spawned tasks no longer share one unbounded FIFO slice:
@@ -93,10 +97,26 @@ func (s *Scheduler) admitRoom(q *injectQ, want int) int {
 // admitMu.
 func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
 	s.extInflightAdd(int64(len(ns)))
-	if g := ns[0].group; g != nil {
+	g := ns[0].group
+	if g != nil {
 		g.inflight.Add(int64(len(ns)))
 	}
+	// Stamp the admission time once per batch: the admission-wait histogram
+	// (always on) measures enqueue→take, and the tracer — when enabled —
+	// records the enqueue on the admission ring (ring P, owned by the admitMu
+	// holder, so its writes are serialized like a worker's own).
+	now := trace.Now()
+	var gid uint32
+	if g != nil {
+		gid = uint32(g.gid)
+	}
+	xt := s.xt
+	traced := xt.Enabled()
 	for _, n := range ns {
+		n.enq = now
+		if traced {
+			n.tid = xt.Record(s.topo.P, trace.EvInjectEnqueue, 0, gid, 0)
+		}
 		q.push(n)
 	}
 	if !q.active {
@@ -234,6 +254,16 @@ func (s *Scheduler) takeInjected(w *worker) bool {
 		s.admitCond.Broadcast()
 	}
 	s.admitMu.Unlock()
+	// Scheduler-owned admission latency: every take feeds the histogram, so
+	// the inject-to-take wait is observable without client cooperation.
+	s.admitWait.Observe(w.id, float64(trace.Now()-n.enq)/1e9)
+	if xt := s.xt; xt.Enabled() {
+		var gid uint32
+		if n.group != nil {
+			gid = uint32(n.group.gid)
+		}
+		xt.Record(w.id, trace.EvInjectTake, s.topo.P, gid, n.tid)
+	}
 	w.st.InjectTakes.Add(1)
 	w.pushNode(n)
 	return true

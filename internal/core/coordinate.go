@@ -4,6 +4,7 @@ import (
 	"repro/internal/reg"
 	"repro/internal/teamsync"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // coordinate drains the worker's own queues: single-threaded tasks run
@@ -67,7 +68,7 @@ func (w *worker) coordinate() {
 					w.casFail()
 					continue
 				}
-				w.ev(evGrowAdvertise, w.id, target, int(nr.Epoch))
+				w.ev(trace.EvGrowAdvertise, w.id, target, uint64(nr.Epoch))
 			}
 			w.gather(lvl, target)
 		default: // r.Team > target: shrink deterministically to my block
@@ -75,7 +76,7 @@ func (w *worker) coordinate() {
 				Req: uint16(target), Acq: uint16(target),
 				Team: uint16(target), Epoch: r.Epoch + 1,
 			}) {
-				w.ev(evShrink, w.id, target, int(r.Epoch)+1)
+				w.ev(trace.EvShrink, w.id, target, uint64(r.Epoch)+1)
 			} else {
 				w.casFail()
 			}
@@ -136,7 +137,7 @@ func (w *worker) preemptLevel(r reg.R, lvl int) int {
 func (w *worker) dropCoordination(r reg.R) {
 	for r.Req != 1 || r.Acq != 1 || r.Team != 1 {
 		if w.regw.CAS(r, reg.R{Req: 1, Acq: 1, Team: 1, Epoch: r.Epoch + 1}) {
-			w.ev(evDisband, w.id, int(r.Acq), int(r.Epoch)+1)
+			w.ev(trace.EvDisband, w.id, int(r.Acq), uint64(r.Epoch)+1)
 			return
 		}
 		w.casFail()
@@ -163,7 +164,7 @@ func (w *worker) gather(lvl, target int) {
 				Req: uint16(target), Acq: uint16(target),
 				Team: uint16(target), Epoch: r.Epoch,
 			}) {
-				w.ev(evTeamFixed, w.id, target, int(r.Epoch))
+				w.ev(trace.EvTeamFixed, w.id, target, uint64(r.Epoch))
 				w.publishAndRun(lvl, target)
 				return
 			}
@@ -178,7 +179,7 @@ func (w *worker) gather(lvl, target int) {
 				t = 1
 			}
 			if w.regw.CAS(r, reg.R{Req: t, Acq: t, Team: t, Epoch: r.Epoch + 1}) {
-				w.ev(evPreempt, w.id, int(t), int(r.Epoch)+1)
+				w.ev(trace.EvPreempt, w.id, int(t), uint64(r.Epoch)+1)
 			} else {
 				w.casFail()
 			}
@@ -215,6 +216,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 		width:    n.r,
 		coordID:  w.id,
 		gen:      s.nextGen(),
+		tid:      n.tid,
 		barrier:  teamsync.NewBarrier(n.r),
 	}
 	exec.started.Store(int32(target - 1))
@@ -222,7 +224,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 	w.freeNode(n) // content copied into exec; recycle before running
 	w.lastGen = exec.gen
 	w.cur.Store(exec)
-	w.ev(evPublish, w.id, target, int(exec.gen))
+	w.ev(trace.EvPublish, w.id, target, exec.gen)
 	w.st.TeamsFormed.Add(1)
 	if lid := topo.LocalID(w.id, w.id, target); lid < exec.width {
 		w.runTeamPart(exec, lid)
@@ -236,7 +238,7 @@ func (w *worker) publishAndRun(lvl, target int) {
 		w.bo.Wait()
 	}
 	w.cur.Store(nil)
-	w.ev(evExecDone, w.id, target, int(exec.gen))
+	w.ev(trace.EvExecDone, w.id, target, exec.gen)
 	w.bo.Reset()
 	w.taskDone(exec.group)
 	if s.opts.DisableTeamReuse {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // DumpState renders the live scheduler state for diagnostics (cmd/stress and
@@ -15,13 +17,19 @@ func (s *Scheduler) DumpState() string {
 		defer s.admitMu.Unlock()
 		return s.pendingInject.Load(), s.ringLen
 	}()
-	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d quiesce_scans=%d\n",
-		s.inflightSum(), injected, sources, s.QuiesceScans())
+	fmt.Fprintf(&b, "inflight=%d injected=%d inject_sources=%d quiesce_scans=%d trace_dropped=%d\n",
+		s.inflightSum(), injected, sources, s.QuiesceScans(), s.TraceDropped())
 	for _, w := range s.workers {
 		r := w.regw.Load()
 		c := w.coordp()
 		cur := w.cur.Load()
-		fmt.Fprintf(&b, "w%-3d coord=%-3d reg=%v free=%d q=[", w.id, c.id, r, w.freeLen.Load())
+		st := trace.State(w.state.Load())
+		stName := "?"
+		if st < trace.NumStates {
+			stName = trace.StateNames[st]
+		}
+		fmt.Fprintf(&b, "w%-3d coord=%-3d state=%-8s reg=%v free=%d trace_dropped=%d q=[",
+			w.id, c.id, stName, r, w.freeLen.Load(), s.xt.Dropped(w.id))
 		for j, q := range w.queues {
 			if j > 0 {
 				b.WriteByte(' ')

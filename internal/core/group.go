@@ -37,6 +37,10 @@ type Group struct {
 	// anonymous groups leave it empty and are invisible to metrics.
 	name string
 
+	// gid is a small scheduler-unique id labeling the group's trace events,
+	// so the Chrome export can render each group as its own async span.
+	gid uint64
+
 	// inflight is the group's task count, updated by every completion of a
 	// task in the group. Unlike the scheduler-global count it stays a single
 	// atomic — groups are per-client, not per-task-tree-node, so the
@@ -53,7 +57,9 @@ type Group struct {
 }
 
 // NewGroup returns a fresh, empty task group on s.
-func (s *Scheduler) NewGroup() *Group { return &Group{s: s} }
+func (s *Scheduler) NewGroup() *Group {
+	return &Group{s: s, gid: s.groupSeq.Add(1)}
+}
 
 // NewNamedGroup returns a fresh task group labeled name and registers it
 // with the scheduler's metrics surface: the per-group gauge families of
@@ -62,7 +68,7 @@ func (s *Scheduler) NewGroup() *Group { return &Group{s: s} }
 // long-lived clients — the scheduler keeps a reference for the lifetime of
 // the scheduler, so do not create unbounded numbers of them.
 func (s *Scheduler) NewNamedGroup(name string) *Group {
-	g := &Group{s: s, name: name}
+	g := &Group{s: s, name: name, gid: s.groupSeq.Add(1)}
 	s.groupsMu.Lock()
 	s.namedGroups = append(s.namedGroups, g)
 	s.groupsMu.Unlock()

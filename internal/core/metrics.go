@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Metrics surface of the scheduler: every counter the workers and the
@@ -123,6 +124,35 @@ func (s *Scheduler) RegisterMetrics(reg *stats.Registry) {
 				emit([]stats.Label{{Name: "group", Value: g.name}}, float64(g.inflight.Load()))
 			}
 		})
+	// Scrape-time rate support: every *_total family above is a monotone
+	// counter, and this uptime counter is the matching time base. A scraper
+	// without PromQL computes a rate as (counter₂ − counter₁) /
+	// (uptime₂ − uptime₁) from any two scrapes — the delta convention
+	// scripts/metricscheck -monotonic enforces.
+	reg.CounterFunc("repro_uptime_seconds",
+		"Seconds since the scheduler was built (time base for scrape-delta rates).",
+		nil, func() float64 { return s.Uptime().Seconds() })
+	reg.Histogram("repro_admission_wait_seconds",
+		"Inject-to-take admission latency: how long an admitted external task waited before a worker took it.",
+		nil, s.admitWait)
+
+	for st := trace.State(0); st < trace.NumStates; st++ {
+		st := st
+		reg.CounterFunc("repro_worker_state_samples_total",
+			"Worker-state observations by the sampling profiler.",
+			[]stats.Label{{Name: "state", Value: trace.StateNames[st]}},
+			func() float64 { return float64(s.profiler.Count(st)) })
+	}
+	reg.CounterFunc("repro_profiler_ticks_total",
+		"Completed sampling rounds of the worker-state profiler (each reads every worker once).",
+		nil, func() float64 { return float64(s.profiler.Ticks()) })
+	reg.CounterFunc("repro_trace_events_total",
+		"Execution-trace events recorded across all rings.",
+		nil, func() float64 { return float64(s.xt.Events()) })
+	reg.CounterFunc("repro_trace_dropped_events_total",
+		"Execution-trace events lost to ring overflow.",
+		nil, func() float64 { return float64(s.xt.DroppedTotal()) })
+
 	reg.GaugeDynamic("repro_group_inject_queue_depth",
 		"Admitted-but-not-started tasks of each named group's inject queue.",
 		func(emit func([]stats.Label, float64)) {

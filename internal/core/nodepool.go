@@ -54,7 +54,7 @@ func (w *worker) getNode() *node {
 // execution). The reference fields are cleared so a parked node never
 // retains a finished task or its captured buffers.
 func (w *worker) freeNode(n *node) {
-	n.task, n.group = nil, nil
+	n.task, n.group, n.tid = nil, nil, 0
 	if len(w.free) < nodeFreeCap {
 		w.free = append(w.free, n)
 		w.freeLen.Store(int64(len(w.free)))
@@ -101,6 +101,6 @@ func getNodeShared() *node {
 // putNodeShared recycles a node that was never published to any queue
 // (rejected or dropped at admission).
 func putNodeShared(n *node) {
-	n.task, n.group = nil, nil
+	n.task, n.group, n.tid = nil, nil, 0
 	sharedNodes.Put(n)
 }

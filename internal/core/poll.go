@@ -4,6 +4,7 @@ import (
 	"repro/internal/deque"
 	"repro/internal/reg"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // pollPartners is the team-building poll of Algorithm 8. It is executed both
@@ -73,7 +74,7 @@ func (w *worker) switchCoordinator(c, xc *worker) {
 			w.casFail()
 			return
 		}
-		w.ev(evConflictYield, xc.id, int(r.Acq), int(r.Epoch))
+		w.ev(trace.EvConflictYield, xc.id, int(r.Acq), uint64(r.Epoch))
 		w.st.ConflictsLost.Add(1)
 	} else {
 		if !w.deregister(c) {
@@ -107,7 +108,7 @@ func (w *worker) deregister(c *worker) bool {
 		w.casFail()
 		return false
 	}
-	w.ev(evDeregister, c.id, int(nr.Acq), int(nr.Epoch))
+	w.ev(trace.EvDeregister, c.id, int(nr.Acq), uint64(nr.Epoch))
 	w.st.Deregistrations.Add(1)
 	return true
 }
@@ -134,7 +135,7 @@ func (w *worker) tryRegister(xc *worker) bool {
 	w.regEpoch = rc.Epoch
 	w.teamed = false
 	w.coord.Store(xc)
-	w.ev(evRegister, xc.id, int(nr.Acq), int(rc.Epoch))
+	w.ev(trace.EvRegister, xc.id, int(nr.Acq), uint64(rc.Epoch))
 	w.st.Registrations.Add(1)
 	return true
 }
@@ -181,6 +182,7 @@ func (w *worker) helpSteal(c *worker, x *worker, l, rneed int) bool {
 			w.queues[j].PushBottom(last)
 			w.st.Steals.Add(1)
 			w.st.TasksStolen.Add(int64(nst))
+			w.ev(trace.EvSteal, x.id, nst, 0)
 			return true
 		}
 		if c != w {

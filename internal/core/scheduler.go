@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Options configures a Scheduler.
@@ -40,6 +42,15 @@ type Options struct {
 	// across all sources — the scheduler-wide backpressure knob for a flood
 	// of concurrent clients. 0 means unbounded.
 	MaxInject int
+	// Trace starts the scheduler with execution tracing already enabled —
+	// equivalent to calling StartTrace before any task is submitted (see
+	// internal/trace). Off by default; a disabled tracer costs one predicted
+	// branch per event site.
+	Trace bool
+	// TraceEvents overrides the per-worker trace ring capacity (events,
+	// rounded up to a power of two). 0 selects the default (8192). Rings
+	// are allocated lazily on the first StartTrace.
+	TraceEvents int
 }
 
 // Scheduler is a work-stealing scheduler with deterministic team-building.
@@ -58,7 +69,28 @@ type Scheduler struct {
 	done   atomic.Bool
 	doneCh chan struct{} // closed by Shutdown; wakes parked waiters
 	wg     sync.WaitGroup
-	trace  tracer
+
+	// Execution tracer (P+1 rings: one per worker, one for the admission
+	// path) and worker-state sampling profiler; see trace.go in this
+	// package and internal/trace.
+	xt       *trace.Tracer
+	profiler *trace.Sampler
+
+	// born anchors the repro_uptime_seconds counter (scrape-time rates:
+	// two scrapes of any _total family divided by the uptime delta give a
+	// rate without a range-vector-capable consumer).
+	born time.Time
+
+	// groupSeq hands every Group a scheduler-unique id, carried by trace
+	// events so one group's admissions and completions link into an async
+	// span in the Chrome export.
+	groupSeq atomic.Uint64
+
+	// admitWait is the scheduler-owned inject-to-take admission latency:
+	// nodes are stamped (trace.Now) at admission under admitMu and observed
+	// into the taking worker's shard at take time, rendered as the
+	// repro_admission_wait_seconds histogram.
+	admitWait *stats.Histogram
 
 	// pendingInject is the total of nodes across all inject queues. It is
 	// written under admitMu but read lock-free by takeInjected's empty fast
@@ -117,12 +149,21 @@ func build(opts Options) *Scheduler {
 		opts:   opts,
 		topo:   topo.New(opts.P),
 		doneCh: make(chan struct{}),
+		born:   time.Now(),
 	}
 	s.admitCond = sync.NewCond(&s.admitMu)
 	s.shards = make([]inflightShard, opts.P+1)
 	s.workers = make([]*worker, opts.P)
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, i)
+	}
+	s.xt = trace.New(traceNames(opts.P), opts.TraceEvents)
+	s.admitWait = stats.NewHistogram(opts.P)
+	s.profiler = trace.NewSampler(opts.P, func(i int) trace.State {
+		return trace.State(s.workers[i].state.Load())
+	})
+	if opts.Trace {
+		s.xt.Start()
 	}
 	return s
 }
@@ -199,6 +240,7 @@ func (s *Scheduler) Shutdown() {
 		s.admitCond.Broadcast()
 		s.admitMu.Unlock()
 	}
+	s.profiler.Stop()
 	s.wg.Wait()
 }
 
@@ -223,6 +265,16 @@ func (s *Scheduler) WorkerStats() []stats.Snapshot {
 // Admission returns a snapshot of the admission-control counters of the
 // external submission path (see admission.go).
 func (s *Scheduler) Admission() stats.AdmissionSnapshot { return s.admit.Snapshot() }
+
+// AdmissionWait returns a snapshot of the scheduler-owned inject-to-take
+// admission latency histogram: the time every admitted external task spent
+// in its inject queue before a worker took it (also rendered by Metrics as
+// repro_admission_wait_seconds).
+func (s *Scheduler) AdmissionWait() stats.HistSnapshot { return s.admitWait.Snapshot() }
+
+// Uptime returns the time since the scheduler was constructed, the anchor
+// of the repro_uptime_seconds metric.
+func (s *Scheduler) Uptime() time.Duration { return time.Since(s.born) }
 
 // waiterScan runs one counted quiescence scan on behalf of an external
 // waiter. Waiters are off the task hot path, so the shared counter is fine
@@ -289,12 +341,23 @@ func (w *worker) taskDone(g *Group) {
 	s := w.sched
 	if s.qz.armed() {
 		w.st.QuiesceScans.Add(1) // owner-only line: no shared write added
-		if s.quiescent() {
+		q := s.quiescent()
+		if xt := s.xt; xt.Enabled() {
+			var x uint32
+			if q {
+				x = 1
+			}
+			xt.Record(w.id, trace.EvQuiesceScan, w.id, x, 0)
+		}
+		if q {
 			s.qz.release()
 		}
 	}
 	if g != nil {
 		if g.inflight.Add(-1) == 0 {
+			if xt := s.xt; xt.Enabled() {
+				xt.Record(w.id, trace.EvGroupDone, w.id, uint32(g.gid), 0)
+			}
 			g.qz.release()
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/deque"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // stealTasks is Algorithm 7: an idle worker (empty queues, self-coordinated)
@@ -69,6 +70,7 @@ func (w *worker) stealFrom(x *worker, l int) bool {
 		}
 		w.st.Steals.Add(1)
 		w.st.TasksStolen.Add(int64(nst))
+		w.ev(trace.EvSteal, x.id, nst, 0)
 		if last.r == 1 {
 			w.runSolo(last)
 		} else {
@@ -124,6 +126,7 @@ func (w *worker) fallbackScan() bool {
 			}
 			w.st.Steals.Add(1)
 			w.st.TasksStolen.Add(int64(nst))
+			w.ev(trace.EvSteal, x.id, nst, 0)
 			if last.r == 1 {
 				w.runSolo(last)
 			} else {

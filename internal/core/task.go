@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Task is a unit of work with a fixed thread requirement.
@@ -44,10 +45,15 @@ type Task interface {
 
 // node is the queue entry wrapping a task; r caches Threads(); group is the
 // quiescence group the task was spawned into (nil for group-less tasks).
+// tid is the trace id of the event that created the task (0 while tracing is
+// off); enq is the admission timestamp (trace.Now) of externally submitted
+// tasks, consumed by the scheduler's admission-wait histogram at take time.
 type node struct {
 	task  Task
 	r     int
 	group *Group
+	tid   uint64
+	enq   int64
 }
 
 // funcTask adapts a function to the Task interface.
@@ -119,9 +125,12 @@ func (c *Ctx) Scheduler() *Scheduler { return c.w.sched }
 // barrier. It is a no-op for single-threaded tasks. The barrier is reusable
 // for any number of phases.
 func (c *Ctx) Barrier() {
-	if c.exec != nil {
-		c.exec.barrier.Wait()
+	if c.exec == nil {
+		return
 	}
+	c.w.ev(trace.EvBarrierEnter, c.exec.coordID, c.localID, c.exec.tid)
+	c.exec.barrier.Wait()
+	c.w.ev(trace.EvBarrierLeave, c.exec.coordID, c.localID, c.exec.tid)
 }
 
 // TeamLeft returns the global worker id of the team member with LocalID 0.

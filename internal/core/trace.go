@@ -2,90 +2,109 @@ package core
 
 import (
 	"fmt"
-	"strings"
-	"sync/atomic"
+	"io"
+
+	"repro/internal/trace"
 )
 
-// Event tracing for protocol debugging: a fixed-size global ring buffer of
-// registration-protocol transitions, enabled with Options.Trace. The
-// overhead when disabled is a single atomic load per event site.
+// Execution tracing and worker-state profiling (see internal/trace). The
+// scheduler owns one tracer with P+1 rings — one per worker plus one for
+// the admission path (owned by the admitMu holder, so its writes are
+// serialized like a worker's) — and one sampling profiler over the workers'
+// published states. Tracing replaces the old global protocol tracer: the
+// registration-protocol events now land on the recording worker's own ring
+// alongside the task-lifecycle events, written through the same alloc-free
+// owner-only path, so enabling a trace perturbs the scheduler far less than
+// the old shared ring (which allocated one event per emit).
 
-type traceKind uint8
-
-const (
-	evRegister traceKind = iota
-	evDeregister
-	evRevoked
-	evLeaveTeam
-	evTeamFixed
-	evPublish
-	evPickup
-	evShrink
-	evDisband
-	evPreempt
-	evConflictYield
-	evGrowAdvertise
-	evExecDone
-)
-
-var traceKindNames = [...]string{
-	"register", "deregister", "revoked", "leave-team", "team-fixed",
-	"publish", "pickup", "shrink", "disband", "preempt", "conflict-yield",
-	"grow-advertise", "exec-done",
-}
-
-type traceEvent struct {
-	seq   uint64
-	kind  traceKind
-	who   int
-	coord int
-	a, b  int // kind-specific payload
-}
-
-const traceCap = 1 << 14
-
-type tracer struct {
-	on  atomic.Bool
-	seq atomic.Uint64
-	buf [traceCap]atomic.Pointer[traceEvent]
-}
-
-func (t *tracer) emit(kind traceKind, who, coord, a, b int) {
-	if !t.on.Load() {
-		return
+// traceNames labels the tracer's rings for dumps and the Chrome export.
+func traceNames(p int) []string {
+	names := make([]string, p+1)
+	for i := 0; i < p; i++ {
+		names[i] = fmt.Sprintf("worker %d", i)
 	}
-	seq := t.seq.Add(1)
-	t.buf[seq%traceCap].Store(&traceEvent{seq: seq, kind: kind, who: who, coord: coord, a: a, b: b})
+	names[p] = "inject"
+	return names
 }
 
-// Dump renders the buffered events in sequence order.
-func (t *tracer) dump() string {
-	var evs []*traceEvent
-	for i := range t.buf {
-		if e := t.buf[i].Load(); e != nil {
-			evs = append(evs, e)
-		}
+// ev records a protocol/team event on the worker's own ring. Hot task-path
+// sites (spawn, runSolo, taskDone) inline the same guard directly instead
+// of calling through here; either way a disabled tracer costs one predicted
+// branch on an atomic bool load.
+func (w *worker) ev(k trace.Kind, other, x int, arg uint64) {
+	if xt := w.sched.xt; xt.Enabled() {
+		xt.Record(w.id, k, other, uint32(x), arg)
 	}
-	// insertion sort by seq (small buffer)
-	for i := 1; i < len(evs); i++ {
-		for j := i; j > 0 && evs[j-1].seq > evs[j].seq; j-- {
-			evs[j-1], evs[j] = evs[j], evs[j-1]
-		}
-	}
-	var sb strings.Builder
-	for _, e := range evs {
-		fmt.Fprintf(&sb, "%6d w%-3d %-14s coord=%-3d a=%d b=%d\n",
-			e.seq, e.who, traceKindNames[e.kind], e.coord, e.a, e.b)
-	}
-	return sb.String()
 }
 
-// TraceOn enables protocol event tracing (testing/diagnostics only).
-func (s *Scheduler) TraceOn() { s.trace.on.Store(true) }
+// setState publishes the worker's coarse activity state for the sampling
+// profiler and DumpState, returning the previous state so nested task
+// executions (TaskGroup.Wait helping inside a running task) can restore it.
+// Owner-only plain store on the worker's own line — the freeLen mirror
+// precedent — so it costs nothing shared on the hot path.
+func (w *worker) setState(st trace.State) trace.State {
+	prev := trace.State(w.state.Load())
+	w.state.Store(uint32(st))
+	return prev
+}
 
-// TraceDump returns the buffered protocol events.
-func (s *Scheduler) TraceDump() string { return s.trace.dump() }
+// StartTrace enables execution tracing. The per-worker event rings are
+// allocated on the first call and kept afterwards, so toggling tracing on a
+// live scheduler allocates nothing after the first window; restarting
+// appends to the same timeline. Safe to call at any time, including
+// concurrently with running tasks.
+func (s *Scheduler) StartTrace() { s.xt.Start() }
 
-func (w *worker) ev(kind traceKind, coord, a, b int) {
-	w.sched.trace.emit(kind, w.id, coord, a, b)
+// StopTrace disables execution tracing. Recorded events remain available to
+// TraceSnapshot/TraceDump/WriteChromeTrace until tracing is restarted long
+// enough to overwrite them.
+func (s *Scheduler) StopTrace() { s.xt.Stop() }
+
+// TraceActive reports whether execution tracing is currently enabled.
+func (s *Scheduler) TraceActive() bool { return s.xt.Enabled() }
+
+// TraceOn enables execution tracing (kept as the historical name used by
+// protocol tests and debugging helpers; identical to StartTrace).
+func (s *Scheduler) TraceOn() { s.xt.Start() }
+
+// TraceSnapshot reads the event rings without stopping the workers (per-
+// slot stamp validation; see internal/trace) and returns the surviving
+// events in timestamp order.
+func (s *Scheduler) TraceSnapshot() trace.Snapshot { return s.xt.Snapshot() }
+
+// TraceDump renders the current trace as a compact text dump, one line per
+// event.
+func (s *Scheduler) TraceDump() string { return s.xt.Snapshot().Text() }
+
+// WriteChromeTrace writes the current trace as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one track per
+// worker plus an admission track, task executions as slices, flow arrows
+// linking spawn→start across steals, groups as async spans.
+func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
+	return s.xt.Snapshot().WriteChrome(w)
+}
+
+// TraceDropped returns the number of trace events lost to ring overflow so
+// far, summed across rings.
+func (s *Scheduler) TraceDropped() uint64 { return s.xt.DroppedTotal() }
+
+// StartProfiler launches the worker-state sampling profiler at hz samples
+// per second (0 selects the 100 Hz default). The observations accumulate in
+// the repro_worker_state_samples_total{state=...} registry counters and are
+// also readable via ProfilerStateCounts. Starting a running profiler is a
+// no-op; counters accumulate across stop/start cycles.
+func (s *Scheduler) StartProfiler(hz float64) { s.profiler.Start(hz) }
+
+// StopProfiler halts the sampling profiler (idempotent; Shutdown also stops
+// it).
+func (s *Scheduler) StopProfiler() { s.profiler.Stop() }
+
+// ProfilerStateCounts returns the per-state observation counts of the
+// sampling profiler, indexed like trace.StateNames.
+func (s *Scheduler) ProfilerStateCounts() [trace.NumStates]int64 {
+	var out [trace.NumStates]int64
+	for st := trace.State(0); st < trace.NumStates; st++ {
+		out[st] = s.profiler.Count(st)
+	}
+	return out
 }

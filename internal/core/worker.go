@@ -10,6 +10,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/teamsync"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // teamExec is the published description of one team task execution. The
@@ -24,6 +25,7 @@ type teamExec struct {
 	width    int    // actual thread requirement r ≤ teamSize
 	coordID  int
 	gen      uint64            // scheduler-unique generation
+	tid      uint64            // trace id of the task's creating event (0 untraced)
 	started  atomic.Int32      // countdown: teamSize−1 member pickups
 	done     atomic.Int32      // countdown: width participants finishing Run
 	barrier  *teamsync.Barrier // width participants
@@ -64,6 +66,11 @@ type worker struct {
 	// plain atomic store on a worker-owned line — so scrapers never race on
 	// the slice header itself.
 	freeLen atomic.Int64
+
+	// state publishes the worker's coarse activity (a trace.State) for the
+	// sampling profiler and DumpState — owner plain-stores at transitions,
+	// the same mirror idiom as freeLen, so readers cost the worker nothing.
+	state atomic.Uint32
 
 	rngState uint64
 }
@@ -127,6 +134,9 @@ func (w *worker) spawn(t Task, g *Group) {
 	w.sched.validateReq(r)
 	n := w.getNode()
 	n.task, n.r, n.group = t, r, g
+	if xt := w.sched.xt; xt.Enabled() {
+		n.tid = xt.Record(w.id, trace.EvSpawn, w.id, uint32(r), 0)
+	}
 	// Accounting happens before the node becomes visible in any queue, so
 	// no Wait can observe a transient zero while the task tree still grows.
 	w.inflightAdd(1)
@@ -157,6 +167,7 @@ func (w *worker) loop() {
 	s := w.sched
 	for !s.done.Load() {
 		if w.coordp() != w {
+			w.setState(trace.StateMember)
 			w.memberStep()
 			continue
 		}
@@ -168,7 +179,9 @@ func (w *worker) loop() {
 			w.bo.Reset()
 			continue
 		}
+		w.setState(trace.StateSteal)
 		w.st.StealAttempts.Add(1)
+		w.ev(trace.EvStealAttempt, w.id, 0, 0)
 		if w.stealTasks() {
 			w.bo.Reset()
 			continue
@@ -181,7 +194,11 @@ func (w *worker) loop() {
 // idleWait backs off after an unsuccessful steal round.
 func (w *worker) idleWait() {
 	w.st.Backoffs.Add(1)
+	w.setState(trace.StatePark)
+	w.ev(trace.EvPark, w.id, 0, 0)
 	w.bo.Wait()
+	w.ev(trace.EvUnpark, w.id, 0, 0)
+	w.setState(trace.StateIdle)
 }
 
 // runSolo executes a single-threaded task (the classical work-stealing fast
@@ -190,12 +207,20 @@ func (w *worker) idleWait() {
 // is already copied out, and freeing first lets the task's own spawns reuse
 // it immediately.
 func (w *worker) runSolo(n *node) {
-	task, g := n.task, n.group
+	task, g, tid := n.task, n.group, n.tid
 	w.freeNode(n)
 	ctx := w.getCtx()
 	ctx.w, ctx.group = w, g
 	w.st.TasksRun.Add(1)
+	prev := w.setState(trace.StateRun)
+	if xt := w.sched.xt; xt.Enabled() {
+		xt.Record(w.id, trace.EvStart, w.id, 1, tid)
+	}
 	task.Run(ctx)
+	if xt := w.sched.xt; xt.Enabled() {
+		xt.Record(w.id, trace.EvDone, w.id, 1, tid)
+	}
+	w.state.Store(uint32(prev)) // restore: nested runs (helping) keep the outer state
 	w.putCtx(ctx)
 	w.taskDone(g)
 	w.bo.Reset()
@@ -207,8 +232,16 @@ func (w *worker) runTeamPart(exec *teamExec, lid int) {
 	ctx.w, ctx.exec, ctx.localID, ctx.group = w, exec, lid, exec.group
 	w.st.TasksRun.Add(1)
 	w.st.TeamTasksRun.Add(1)
+	prev := w.setState(trace.StateRunTeam)
+	if xt := w.sched.xt; xt.Enabled() {
+		xt.Record(w.id, trace.EvStart, exec.coordID, uint32(exec.width), exec.tid)
+	}
 	defer exec.done.Add(-1)
 	exec.task.Run(ctx)
+	if xt := w.sched.xt; xt.Enabled() {
+		xt.Record(w.id, trace.EvDone, exec.coordID, uint32(exec.width), exec.tid)
+	}
+	w.state.Store(uint32(prev))
 	w.putCtx(ctx)
 }
 
@@ -232,12 +265,12 @@ func (w *worker) memberStep() {
 		w.regEpoch = rc.Epoch // adopt the epoch across shrinks/preempts
 	case w.teamed:
 		// Was teamed, now outside the (shrunk or disbanded) team.
-		w.ev(evLeaveTeam, c.id, int(rc.Team), int(rc.Epoch))
+		w.ev(trace.EvLeaveTeam, c.id, int(rc.Team), uint64(rc.Epoch))
 		w.leaveCoordinator()
 		return
 	case rc.Epoch != w.regEpoch:
 		// Non-team registration revoked (coordinator reset or yielded).
-		w.ev(evRevoked, c.id, int(rc.Epoch), int(w.regEpoch))
+		w.ev(trace.EvRevoked, c.id, int(rc.Epoch), uint64(w.regEpoch))
 		w.st.Revocations.Add(1)
 		w.leaveCoordinator()
 		return
@@ -247,7 +280,7 @@ func (w *worker) memberStep() {
 		w.lastGen = exec.gen
 		w.teamed = true
 		lid := topo.LocalID(w.id, exec.coordID, exec.teamSize)
-		w.ev(evPickup, exec.coordID, lid, int(exec.gen))
+		w.ev(trace.EvPickup, exec.coordID, lid, exec.gen)
 		exec.started.Add(-1)
 		if lid < exec.width {
 			w.runTeamPart(exec, lid)

@@ -1,0 +1,27 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceRecord measures the tracer's per-event cost on both sides of
+// the toggle. "off" is the cost every task pays when tracing is disabled
+// (one atomic load and a predicted branch); "on" is the full seqlock write.
+// Both must report 0 allocs/op.
+func BenchmarkTraceRecord(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		tr := New([]string{"w"}, DefaultRingEvents)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if tr.Enabled() {
+				tr.Record(0, EvSpawn, 0, 1, uint64(i))
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		tr := New([]string{"w"}, DefaultRingEvents)
+		tr.Start()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Record(0, EvSpawn, 0, 1, uint64(i))
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports that this test binary runs under the race detector.
+const raceEnabled = false

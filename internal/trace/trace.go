@@ -1,0 +1,151 @@
+// Package trace is the scheduler's always-on execution tracer: per-ring
+// (one ring per worker, plus one for the admission path) fixed-size buffers
+// of compact binary events, written through an allocation-free owner-only
+// path and snapshotted without stopping the writers via per-slot sequence
+// stamps — the same seqlock validation argument the core scheduler uses for
+// its quiescence scan. Snapshots export a compact text dump and Chrome
+// trace-event JSON loadable in Perfetto (see chrome.go).
+//
+// The package also provides the worker-state sampling profiler (sampler.go):
+// a background goroutine periodically reads each worker's published State
+// and accumulates per-state occupancy counters — a statistical CPU-time
+// breakdown with zero cost on the scheduler's task paths.
+package trace
+
+import "time"
+
+// Kind identifies one event type. The low task-lifecycle kinds are the hot
+// ones (recorded per task); the registration-protocol kinds at the tail are
+// the former core protocol tracer, migrated onto the same rings.
+type Kind uint8
+
+const (
+	// Task lifecycle. A task's trace id is the event id (Event.ID) of the
+	// event that created it — EvSpawn for interior spawns, EvInjectEnqueue
+	// for external admissions — carried in Arg by EvStart/EvDone/
+	// EvInjectTake so one task's journey links up across steals and rings.
+	EvSpawn         Kind = iota // interior Ctx.Spawn; X = thread requirement
+	EvStart                     // execution begins; X = width, Arg = task trace id
+	EvDone                      // execution ends; X = width, Arg = task trace id
+	EvStealAttempt              // idle worker begins a steal round
+	EvSteal                     // successful steal; Other = victim, X = tasks moved
+	EvInjectEnqueue             // external admission (admission ring); X = group id
+	EvInjectTake                // admitted task taken; X = group id, Arg = task trace id
+	EvGroupDone                 // group in-flight count hit zero; X = group id
+	// Team lifecycle.
+	EvTeamFixed    // coordinator fixed a team; X = size, Arg = epoch
+	EvPublish      // team execution published; X = size, Arg = generation
+	EvPickup       // member picked an execution up; Other = coordinator, X = local id, Arg = generation
+	EvExecDone     // team execution complete; X = size, Arg = generation
+	EvBarrierEnter // team barrier entered; Other = coordinator, X = local id, Arg = task trace id
+	EvBarrierLeave // team barrier passed; Other = coordinator, X = local id, Arg = task trace id
+	// Idleness and quiescence.
+	EvPark        // worker begins a backoff wait after a failed steal round
+	EvUnpark      // worker returns from the backoff wait
+	EvQuiesceScan // completion-path quiescence sum-scan; X = 1 if quiescent
+	// Registration-protocol transitions.
+	EvRegister      // Other = coordinator, X = acquired count, Arg = epoch
+	EvDeregister    // Other = coordinator, X = acquired count, Arg = epoch
+	EvRevoked       // Other = coordinator, X = coordinator epoch, Arg = own epoch
+	EvLeaveTeam     // Other = coordinator, X = team size, Arg = epoch
+	EvShrink        // X = new team size, Arg = epoch
+	EvDisband       // X = acquired count, Arg = epoch
+	EvPreempt       // X = surviving team size, Arg = epoch
+	EvConflictYield // Other = winning coordinator, X = acquired count, Arg = epoch
+	EvGrowAdvertise // X = advertised size, Arg = epoch
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"spawn", "start", "done", "steal-attempt", "steal",
+	"inject-enqueue", "inject-take", "group-done",
+	"team-fixed", "publish", "pickup", "exec-done",
+	"barrier-enter", "barrier-leave",
+	"park", "unpark", "quiesce-scan",
+	"register", "deregister", "revoked", "leave-team", "shrink",
+	"disband", "preempt", "conflict-yield", "grow-advertise",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "kind-" + itoa(int(k))
+}
+
+// State is a worker's coarse activity state, published by the worker with a
+// plain owner store into an atomic on its own line and read by the sampling
+// profiler (and DumpState). Adding a state here without extending StateNames
+// fails to compile; the exhaustiveness tests in this package and the metric
+// registration in core (one series per state) pick new states up from
+// NumStates/StateNames without further edits.
+type State uint32
+
+const (
+	StateIdle    State = iota // between tasks: coordinating, polling inject
+	StateRun                  // running a single-threaded task
+	StateRunTeam              // running its share of a team task
+	StateSteal                // in a steal round
+	StatePark                 // backoff wait after a failed steal round
+	StateMember               // registered at another coordinator (in-team polling)
+
+	NumStates
+)
+
+// StateNames holds the metric label value of every State.
+var StateNames = [NumStates]string{
+	"idle", "run", "run_team", "steal", "park", "member",
+}
+
+func (s State) String() string {
+	if s < NumStates {
+		return StateNames[s]
+	}
+	return "state-" + itoa(int(s))
+}
+
+// Event is one decoded trace event.
+type Event struct {
+	Ring  int    // ring the event was recorded on (worker id, or the admission ring)
+	Seq   uint64 // per-ring sequence number (dense, starts at 0)
+	TS    int64  // monotonic nanoseconds since process start (see Now)
+	Kind  Kind
+	Other int    // related worker id (victim, coordinator); kind-specific
+	X     uint32 // small kind-specific payload (r, team size, group id, count)
+	Arg   uint64 // large kind-specific payload (task trace id, epoch, generation)
+}
+
+// ID returns the event's process-unique id: ring and sequence packed into
+// one word. The id of a task's creating event (spawn/inject-enqueue) is the
+// task's trace id.
+func (e Event) ID() uint64 { return eventID(e.Ring, e.Seq) }
+
+func eventID(ring int, seq uint64) uint64 {
+	return uint64(ring+1)<<48 | seq&(1<<48-1)
+}
+
+// base anchors the package's monotonic clock: one clock for every tracer
+// and for admission-latency stamping, so timestamps from different rings
+// (and different schedulers in one process) are directly comparable.
+var base = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It reads the
+// monotonic clock and allocates nothing.
+func Now() int64 { return int64(time.Since(base)) }
+
+// itoa is a tiny strconv.Itoa for the String methods, avoiding the strconv
+// import in the package core depends on from its hot path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateChromeAccepts covers the two accepted top-level forms.
+func TestValidateChromeAccepts(t *testing.T) {
+	object := `{"traceEvents":[
+		{"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+		{"name":"a","ph":"E","ts":2,"pid":0,"tid":0},
+		{"name":"m","ph":"M"}]}`
+	if n, err := ValidateChrome([]byte(object)); err != nil || n != 3 {
+		t.Fatalf("object form: n=%d err=%v", n, err)
+	}
+	array := `[{"name":"x","ph":"i","ts":0,"pid":0,"tid":1}]`
+	if n, err := ValidateChrome([]byte(array)); err != nil || n != 1 {
+		t.Fatalf("array form: n=%d err=%v", n, err)
+	}
+	// A B left open at the end of the window is a cut capture, not an error.
+	open := `[{"name":"a","ph":"B","ts":1,"pid":0,"tid":0}]`
+	if _, err := ValidateChrome([]byte(open)); err != nil {
+		t.Fatalf("open slice rejected: %v", err)
+	}
+}
+
+// TestValidateChromeRejects pins every failure mode check.sh relies on.
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"not json", `]`, "neither"},
+		{"unknown phase", `[{"name":"a","ph":"Z","ts":1,"pid":0,"tid":0}]`, "unknown phase"},
+		{"unnamed slice", `[{"ph":"X","ts":1,"pid":0,"tid":0}]`, "without a name"},
+		{"missing ts", `[{"name":"a","ph":"i","pid":0,"tid":0}]`, "no ts"},
+		{"negative ts", `[{"name":"a","ph":"i","ts":-1,"pid":0,"tid":0}]`, "negative ts"},
+		{"missing tid", `[{"name":"a","ph":"i","ts":1,"pid":0}]`, "missing pid/tid"},
+		{"negative dur", `[{"name":"a","ph":"X","ts":1,"dur":-2,"pid":0,"tid":0}]`, "negative dur"},
+		{"flow without id", `[{"name":"a","ph":"s","ts":1,"pid":0,"tid":0}]`, "without id"},
+		{"E underflow", `[{"name":"a","ph":"E","ts":1,"pid":0,"tid":0}]`, "underflows"},
+		{
+			"flow finish before start",
+			`[{"name":"a","ph":"f","ts":1,"pid":0,"tid":0,"id":"7"},
+			  {"name":"a","ph":"s","ts":2,"pid":0,"tid":0,"id":"7"}]`,
+			"no earlier start",
+		},
+		{
+			"flow step with no start",
+			`[{"name":"a","ph":"t","ts":1,"pid":0,"tid":0,"id":"7"}]`,
+			"no earlier start",
+		},
+		{
+			"async end with no begin",
+			`[{"name":"g","ph":"e","ts":1,"pid":0,"tid":0,"id":"1"}]`,
+			"no earlier begin",
+		},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateChrome([]byte(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

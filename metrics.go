@@ -2,12 +2,15 @@ package repro
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Metrics is a registry of metric families rendering the Prometheus text
@@ -26,14 +29,16 @@ type MetricLabel = stats.Label
 func NewMetrics() *Metrics { return stats.NewRegistry() }
 
 // MetricsServer is a minimal HTTP server exposing one Metrics registry at
-// /metrics. The registry may be installed (and swapped) after the server is
-// already listening — cmd/throughput swaps in each measurement point's
-// fresh Runtime — and scrapes racing a swap see either registry, never a
-// torn one.
+// /metrics, plus an on-demand execution-trace capture at /debug/trace once
+// SetTraceSource installs a scheduler. The registry may be installed (and
+// swapped) after the server is already listening — cmd/throughput swaps in
+// each measurement point's fresh Runtime — and scrapes racing a swap see
+// either registry, never a torn one.
 type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
 	reg atomic.Pointer[stats.Registry]
+	src atomic.Pointer[Scheduler]
 }
 
 // ServeMetrics listens on addr (e.g. ":9090", or "127.0.0.1:0" for an
@@ -51,6 +56,7 @@ func ServeMetrics(addr string, reg *Metrics) (*MetricsServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handle)
+	mux.HandleFunc("/debug/trace", m.handleTrace)
 	m.srv = &http.Server{Handler: mux}
 	go m.srv.Serve(ln)
 	return m, nil
@@ -63,6 +69,54 @@ func (m *MetricsServer) handle(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	reg.ServeHTTP(w, req)
+}
+
+// SetTraceSource installs (or replaces) the scheduler whose execution
+// tracer /debug/trace captures. Safe to call concurrently with requests; a
+// nil source makes the endpoint answer 503.
+func (m *MetricsServer) SetTraceSource(s *Scheduler) { m.src.Store(s) }
+
+// handleTrace serves GET /debug/trace?sec=0.25&format=chrome|text: it turns
+// tracing on for a bounded window (sec clamped to [0.01, 10]; tracing that
+// was already on stays on afterwards), then returns only the events recorded
+// during the window — Chrome trace-event JSON by default, the compact text
+// dump with format=text.
+func (m *MetricsServer) handleTrace(w http.ResponseWriter, req *http.Request) {
+	s := m.src.Load()
+	if s == nil {
+		http.Error(w, "trace: no scheduler installed (SetTraceSource)", http.StatusServiceUnavailable)
+		return
+	}
+	sec := 0.25
+	if v := req.URL.Query().Get("sec"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "trace: bad sec parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sec = f
+	}
+	if sec < 0.01 {
+		sec = 0.01
+	}
+	if sec > 10 {
+		sec = 10
+	}
+	from := trace.Now()
+	wasOn := s.TraceActive()
+	s.StartTrace()
+	time.Sleep(time.Duration(sec * float64(time.Second)))
+	if !wasOn {
+		s.StopTrace()
+	}
+	snap := s.TraceSnapshot().Since(from)
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snap.Text())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteChrome(w)
 }
 
 // Addr returns the listening address (resolving ":0" to the chosen port).

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +146,31 @@ func (r *Runtime[T]) Close() {
 		r.s.Shutdown()
 	}
 }
+
+// StartTrace enables execution tracing on the underlying scheduler: every
+// worker records task, steal, injection, team-protocol, and park events into
+// its own fixed-size ring (see internal/trace). Safe to toggle on a live
+// Runtime; with tracing off the instrumentation costs one predicted branch
+// per event site.
+func (r *Runtime[T]) StartTrace() { r.s.StartTrace() }
+
+// StopTrace disables execution tracing; recorded events stay readable.
+func (r *Runtime[T]) StopTrace() { r.s.StopTrace() }
+
+// WriteTrace writes the recorded execution trace as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (r *Runtime[T]) WriteTrace(w io.Writer) error { return r.s.WriteChromeTrace(w) }
+
+// TraceText renders the recorded execution trace as a compact text dump.
+func (r *Runtime[T]) TraceText() string { return r.s.TraceDump() }
+
+// StartProfiler launches the worker-state sampling profiler at hz samples
+// per second (0 selects the default rate). Observations accumulate in the
+// repro_worker_state_samples_total{state=...} metric families.
+func (r *Runtime[T]) StartProfiler(hz float64) { r.s.StartProfiler(hz) }
+
+// StopProfiler halts the sampling profiler.
+func (r *Runtime[T]) StopProfiler() { r.s.StopProfiler() }
 
 // SortMixedMode sorts data with the paper's mixed-mode parallel Quicksort
 // (Algorithm 11) as an independent group on the shared scheduler. It blocks

@@ -53,8 +53,8 @@ else
 fi
 
 echo "bench: core (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_core.json"
-go test -run '^$' -bench '^Benchmark(SpawnJoinPingPong|EmptyTaskFanout|StealImbalance|InjectedTakeEmpty|InjectLatency|CounterContention|HistogramObserve)$' \
-  -benchtime "${BENCHTIME}" -json ./internal/core ./internal/stats |
+go test -run '^$' -bench '^Benchmark(SpawnJoinPingPong|EmptyTaskFanout|StealImbalance|InjectedTakeEmpty|InjectLatency|CounterContention|HistogramObserve|TraceRecord)$' \
+  -benchtime "${BENCHTIME}" -json ./internal/core ./internal/stats ./internal/trace |
   go run ./scripts/benchjson -baseline scripts/core-baseline.json > "${OUTDIR}/BENCH_core.json"
 
 echo "bench: primitives (benchtime ${BENCHTIME}) -> ${OUTDIR}/BENCH_par.json"

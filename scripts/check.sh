@@ -28,10 +28,11 @@ go test ./...
 # the root package) plus the hot-path recycling machinery: the node/ctx
 # free lists and the sharded in-flight scan in ./internal/core, the
 # owner-pop slot clearing in ./internal/deque, the pooled spawn
-# wrappers of the three sorting packages, and the seqlock-stamped
-# histogram/registry read paths in ./internal/stats.
-echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats"
-go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats
+# wrappers of the three sorting packages, the seqlock-stamped
+# histogram/registry read paths in ./internal/stats, and the seqlock-
+# stamped event rings and sampling profiler in ./internal/trace.
+echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace"
+go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace
 
 echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
@@ -47,7 +48,7 @@ cleanup_metrics() {
 trap cleanup_metrics EXIT
 go build -o "${metricsdir}/metricscheck" ./scripts/metricscheck
 go run ./cmd/throughput -clients 4 -sizes 65536 -dists random -algos mmpar,fork \
-  -duration 3s -metrics-addr 127.0.0.1:0 \
+  -duration 3s -metrics-addr 127.0.0.1:0 -profile-hz 199 \
   > "${metricsdir}/tp.json" 2> "${metricsdir}/tp.err" &
 tp_pid=$!
 addr=""
@@ -66,11 +67,19 @@ if [[ -z "${addr}" ]]; then
   cat "${metricsdir}/tp.err"
   exit 1
 fi
-"${metricsdir}/metricscheck" -retry 5s \
-  -require repro_sched_steals_total,repro_sched_inject_takes_total,repro_sched_quiesce_scans_total,repro_admission_injected_total,repro_group_pending_sorts,repro_sort_latency_seconds_bucket \
+"${metricsdir}/metricscheck" -retry 5s -monotonic 1s \
+  -require repro_sched_steals_total,repro_sched_inject_takes_total,repro_sched_quiesce_scans_total,repro_admission_injected_total,repro_admission_wait_seconds_count,repro_uptime_seconds,repro_worker_state_samples_total,repro_trace_events_total,repro_group_pending_sorts,repro_sort_latency_seconds_bucket \
   "http://${addr}/metrics"
 wait "${tp_pid}"
 tp_pid=""
+
+echo "check: trace export smoke (-trace-out validated by tracecheck)"
+tracedir=$(mktemp -d)
+go build -o "${tracedir}/tracecheck" ./scripts/tracecheck
+go run ./cmd/throughput -clients 4 -sizes 65536 -dists random -algos mmpar,fork \
+  -duration 300ms -trace-out "${tracedir}/trace.json" -profile-hz 199 > /dev/null
+"${tracedir}/tracecheck" -min-events 100 "${tracedir}/trace.json"
+rm -rf "${tracedir}"
 
 echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
 BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh

@@ -6,9 +6,15 @@
 // nonzero with the offending line — the check.sh smoke runs it against a
 // live cmd/throughput -metrics-addr run.
 //
+// With -monotonic d the endpoint is scraped a second time d later and every
+// *_total series must not have decreased — the scrape-delta rate convention
+// (delta of a counter divided by the delta of repro_uptime_seconds) only
+// works over counters that never go backwards.
+//
 // Usage:
 //
 //	metricscheck -retry 5s -require name1,name2 http://127.0.0.1:9090/metrics
+//	metricscheck -monotonic 1s http://127.0.0.1:9090/metrics
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -31,6 +38,7 @@ var (
 func main() {
 	retry := flag.Duration("retry", 5*time.Second, "keep retrying a failing scrape up to this long")
 	require := flag.String("require", "", "comma-separated metric names that must appear as samples")
+	monotonic := flag.Duration("monotonic", 0, "scrape again this much later and fail if any *_total series decreased")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: metricscheck [-retry d] [-require a,b,c] URL")
@@ -85,7 +93,56 @@ func main() {
 			}
 		}
 	}
+	if *monotonic > 0 {
+		time.Sleep(*monotonic)
+		body2, err := scrape(url, *retry)
+		if err != nil {
+			fail("second scrape %s: %v", url, err)
+		}
+		first, second := parseSamples(body), parseSamples(body2)
+		checked := 0
+		for key, v1 := range first {
+			name := key
+			if i := strings.IndexByte(key, '{'); i >= 0 {
+				name = key[:i]
+			}
+			if !strings.HasSuffix(name, "_total") {
+				continue
+			}
+			v2, ok := second[key]
+			if !ok {
+				fail("monotonic: counter series %q vanished between scrapes", key)
+			}
+			if v2 < v1 {
+				fail("monotonic: counter %q decreased between scrapes: %v -> %v", key, v1, v2)
+			}
+			checked++
+		}
+		if checked == 0 {
+			fail("monotonic: no *_total series to check")
+		}
+		fmt.Printf("metricscheck: monotonic OK (%d counter series)\n", checked)
+	}
 	fmt.Printf("metricscheck: OK (%d series names)\n", len(seen))
+}
+
+// parseSamples extracts every sample line as series-key (name plus label
+// set) to value. Lines that do not parse are skipped — the grammar pass has
+// already validated the exposition.
+func parseSamples(body string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out
 }
 
 // familyOf strips the histogram sample suffixes.

@@ -1,0 +1,47 @@
+// Command tracecheck validates a Chrome trace-event JSON file (the output
+// of cmd/throughput -trace-out, Runtime.WriteTrace, or /debug/trace) with
+// the schema checks of internal/trace.ValidateChrome: known phases, named
+// and timestamped events, per-track begin/end nesting, and flow/async
+// references that resolve. The check.sh trace smoke runs it over a live
+// -trace-out export so a broken trace fails CI before a human loads it in
+// Perfetto.
+//
+// Usage:
+//
+//	tracecheck [-min-events n] trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-events n] FILE")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	n, err := trace.ValidateChrome(data)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	if n < *minEvents {
+		fail("%s: only %d events (want >= %d)", path, n, *minEvents)
+	}
+	fmt.Printf("tracecheck: OK (%d events)\n", n)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
