@@ -13,7 +13,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace
+	go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace
 
 # Full verification gate: build, vet, test, race.
 check:
@@ -26,7 +26,8 @@ fuzz-smoke:
 bench:
 	go test -bench=. -benchtime=1x .
 
-# Benchmark trajectory: BENCH_par.json + BENCH_sort.json via scripts/bench.sh.
+# Benchmark trajectory: BENCH_{core,par,sort,throughput,query}.json via
+# scripts/bench.sh.
 bench-json:
 	./scripts/bench.sh
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dist/distpar"
+	"repro/internal/harness"
 	"repro/internal/msort"
 	"repro/internal/qsort"
 	"repro/internal/ssort"
@@ -35,7 +36,7 @@ func main() {
 	var (
 		n       = flag.Int("n", 10_000_000, "number of 4-byte integers to sort")
 		distStr = flag.String("dist", "random", "distribution: "+strings.Join(names, "|"))
-		algo    = flag.String("algo", "mmpar", "algorithm: seq|seqqs|fork|randfork|cilk|cilksample|mmpar|ssort|msort|all")
+		algo    = flag.String("algo", "mmpar", "algorithm(s), comma-separated: seqstl|seqqs|fork|randfork|cilk|cilksample|mmpar|ssort|msort, or all")
 		p       = flag.Int("p", 0, "workers (default NumCPU)")
 		seed    = flag.Uint64("seed", 42, "input seed")
 		reps    = flag.Int("reps", 1, "repetitions")
@@ -51,105 +52,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	algos := harness.AllAlgorithms()
+	if !strings.EqualFold(strings.TrimSpace(*algo), "all") {
+		if algos, err = harness.ParseAlgorithms(*algo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	input := generateInput(kind, *n, *seed, *p)
 	buf := make([]int32, *n)
 
-	algos := []string{*algo}
-	if *algo == "all" {
-		algos = []string{"seq", "seqqs", "fork", "randfork", "cilk", "cilksample", "mmpar", "ssort", "msort"}
-	}
 	for _, a := range algos {
 		var best, total time.Duration
 		var schedStats string
 		for r := 0; r < *reps; r++ {
 			copy(buf, input)
-			var el time.Duration
-			switch a {
-			case "seq":
-				start := time.Now()
-				qsort.Introsort(buf)
-				el = time.Since(start)
-			case "seqqs":
-				start := time.Now()
-				qsort.SequentialQuicksortCutoff(buf, *cutoff)
-				el = time.Since(start)
-			case "fork":
-				s := core.New(core.Options{P: *p, Seed: *seed})
-				start := time.Now()
-				qsort.ForkJoinCore(s, buf, *cutoff)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "randfork":
-				s := classic.New(classic.Options{P: *p, Seed: *seed})
-				start := time.Now()
-				qsort.ForkJoinClassic(s, buf, *cutoff)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "cilk":
-				s := cilk.New(cilk.Options{P: *p, Seed: *seed})
-				start := time.Now()
-				qsort.ForkJoinCilk(s, buf, *cutoff)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "cilksample":
-				s := cilk.New(cilk.Options{P: *p, Seed: *seed})
-				start := time.Now()
-				qsort.SampleCilk(s, buf, *cutoff)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "mmpar":
-				s := core.New(core.Options{P: *p, Seed: *seed})
-				opt := qsort.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk}
-				start := time.Now()
-				qsort.MixedMode(s, buf, opt)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "ssort":
-				s := core.New(core.Options{P: *p, Seed: *seed})
-				// MinPerThread mirrors the mmpar team quota (block · minblocks),
-				// as in the harness, so the two mixed-mode algorithms form teams
-				// at the same scales under identical flags.
-				opt := ssort.Options{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
-				start := time.Now()
-				ssort.Sort(s, buf, opt)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			case "msort":
-				s := core.New(core.Options{P: *p, Seed: *seed})
-				// The merge quota mirrors the other mixed-mode algorithms, as
-				// in the harness MSort column.
-				opt := msort.Options{Cutoff: *cutoff, MinPerThread: *block * *minBlk}
-				start := time.Now()
-				msort.Sort(s, buf, opt)
-				el = time.Since(start)
-				if *stats {
-					schedStats = s.Stats().String()
-				}
-				s.Shutdown()
-			default:
-				fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", a)
-				os.Exit(2)
+			run, stat := sorter(a, *p, *seed, *cutoff, *block, *minBlk)
+			start := time.Now()
+			run(buf)
+			el := time.Since(start)
+			if *stats && stat.read != nil {
+				schedStats = stat.read()
+			}
+			if stat.shutdown != nil {
+				stat.shutdown()
 			}
 			if !qsort.IsSorted(buf) {
-				fmt.Fprintf(os.Stderr, "%s: OUTPUT NOT SORTED\n", a)
+				fmt.Fprintf(os.Stderr, "%s: OUTPUT NOT SORTED\n", a.FlagName())
 				os.Exit(1)
 			}
 			total += el
@@ -158,10 +87,70 @@ func main() {
 			}
 		}
 		fmt.Printf("%-11s n=%d dist=%-9s avg=%v best=%v\n",
-			a, *n, kind, total/time.Duration(*reps), best)
+			a.FlagName(), *n, kind, total/time.Duration(*reps), best)
 		if *stats && schedStats != "" {
 			fmt.Printf("  stats: %s\n", schedStats)
 		}
+	}
+}
+
+// schedHooks exposes a run's scheduler, when it has one: a statistics
+// reader (valid before shutdown) and the shutdown itself.
+type schedHooks struct {
+	read     func() string
+	shutdown func()
+}
+
+// sorter builds one repetition's sort function from the shared harness
+// algorithm vocabulary, constructing the scheduler the algorithm needs (the
+// scheduler lives for one repetition, matching the original per-repetition
+// timing behavior).
+func sorter(a harness.Algorithm, p int, seed uint64, cutoff, block, minBlk int) (func([]int32), schedHooks) {
+	switch a {
+	case harness.SeqSTL:
+		return func(d []int32) { qsort.Introsort(d) }, schedHooks{}
+	case harness.SeqQS:
+		return func(d []int32) { qsort.SequentialQuicksortCutoff(d, cutoff) }, schedHooks{}
+	case harness.Fork:
+		s := core.New(core.Options{P: p, Seed: seed})
+		return func(d []int32) { qsort.ForkJoinCore(s, d, cutoff) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.Randfork:
+		s := classic.New(classic.Options{P: p, Seed: seed})
+		return func(d []int32) { qsort.ForkJoinClassic(s, d, cutoff) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.Cilk:
+		s := cilk.New(cilk.Options{P: p, Seed: seed})
+		return func(d []int32) { qsort.ForkJoinCilk(s, d, cutoff) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.CilkSample:
+		s := cilk.New(cilk.Options{P: p, Seed: seed})
+		return func(d []int32) { qsort.SampleCilk(s, d, cutoff) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.MMPar:
+		s := core.New(core.Options{P: p, Seed: seed})
+		opt := qsort.MMOptions{Cutoff: cutoff, BlockSize: block, MinBlocksPerThread: minBlk}
+		return func(d []int32) { qsort.MixedMode(s, d, opt) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.SSort:
+		s := core.New(core.Options{P: p, Seed: seed})
+		// MinPerThread mirrors the mmpar team quota (block · minblocks), as
+		// in the harness, so the two mixed-mode algorithms form teams at the
+		// same scales under identical flags.
+		opt := ssort.Options{Cutoff: cutoff, MinPerThread: block * minBlk}
+		return func(d []int32) { ssort.Sort(s, d, opt) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	case harness.MSort:
+		s := core.New(core.Options{P: p, Seed: seed})
+		// The merge quota mirrors the other mixed-mode algorithms, as in the
+		// harness MSort column.
+		opt := msort.Options{Cutoff: cutoff, MinPerThread: block * minBlk}
+		return func(d []int32) { msort.Sort(s, d, opt) },
+			schedHooks{func() string { return s.Stats().String() }, s.Shutdown}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %v\n", a)
+		os.Exit(2)
+		return nil, schedHooks{}
 	}
 }
 

@@ -23,6 +23,14 @@
 // Runtime.SortMany (one admission-lock acquisition per batch) instead of
 // one Sort* call per request; latency samples are then per batch.
 //
+// Analytics mode: -mix analytics replaces the sort requests with the
+// Runtime's analytics operators (filter, groupby, aggregate, topk, join,
+// plan — see internal/query) drawn uniformly over the size × distribution
+// grid. Requests read the shared pre-generated inputs in place (the
+// operators never mutate their sources), every result is verified against
+// an expected value precomputed at generation time, and the per-operator
+// latency breakdown replaces the per-algorithm one in the report.
+//
 // Observability: -trace-out f records an execution trace of the last
 // measurement point and writes it as Chrome trace-event JSON to f (load in
 // Perfetto or chrome://tracing; scripts/tracecheck validates it).
@@ -68,11 +76,12 @@ type request struct {
 	in   []int32 // pre-generated input, copied per request
 }
 
-// clientResult is one client's recorded latencies, per algorithm and
-// overall.
+// clientResult is one client's recorded latencies, per request label
+// (algorithm column in the sort mix, operator name in the analytics mix)
+// and overall.
 type clientResult struct {
 	overall  stats.Sample
-	perAlgo  map[harness.Algorithm]*stats.Sample
+	perAlgo  map[string]*stats.Sample
 	requests int64
 	failures int64
 }
@@ -85,8 +94,10 @@ type runConfig struct {
 	batch      int
 	maxPending int
 	maxInject  int
-	algos      []harness.Algorithm
+	mix        harness.Mix
+	labels     []string // report order of the per-label latency breakdown
 	reqs       []request
+	cells      []aCell // analytics-mix workload cells (mix == MixAnalytics)
 	maxSize    int
 	profileHz  float64
 	mmOpt      repro.MMOptions
@@ -113,6 +124,7 @@ func main() {
 		mAddr      = flag.String("metrics-addr", "", "serve Prometheus-style /metrics on this address during the run (e.g. 127.0.0.1:9090; empty = off)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the last measurement point to this file (empty = off)")
 		profileHz  = flag.Float64("profile-hz", 0, "sample worker states at this rate during each point (0 = off)")
+		mixStr     = flag.String("mix", "sort", "request mix: sort (Sort* requests) | analytics (filter/groupby/aggregate/topk/join/plan requests)")
 	)
 	flag.Parse()
 
@@ -124,12 +136,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	algos, err := parseAlgos(*algosStr)
+	mix, err := harness.ParseMix(*mixStr)
+	if err != nil {
+		fatal(err)
+	}
+	algos, err := harness.ParseSchedulerAlgorithms(*algosStr)
 	if err != nil {
 		fatal(err)
 	}
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be ≥ 1"))
+	}
+	if mix == harness.MixAnalytics && *batch > 1 {
+		fatal(fmt.Errorf("-batch > 1 applies to the sort mix only (analytics requests are unbatched)"))
 	}
 	if *batch > 1 {
 		for _, a := range algos {
@@ -151,7 +170,7 @@ func main() {
 		batch:      *batch,
 		maxPending: *maxPending,
 		maxInject:  *maxInject,
-		algos:      algos,
+		mix:        mix,
 		profileHz:  *profileHz,
 		mmOpt:      repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk},
 		ssOpt:      repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
@@ -159,15 +178,22 @@ func main() {
 	}
 
 	// Pre-generate every (distribution, size) input once, team-parallel on a
-	// short-lived scheduler; requests copy from this pool so generation cost
-	// never pollutes the latencies. Each measurement point then runs on a
-	// fresh scheduler of its own, so the admission counters are per-point.
+	// short-lived scheduler; sort requests copy from this pool (and analytics
+	// requests read it in place), so generation cost never pollutes the
+	// latencies. The analytics cells also precompute every operator's
+	// expected result here, making in-loop verification a cheap comparison.
+	// Each measurement point then runs on a fresh scheduler of its own, so
+	// the admission counters are per-point.
 	gen := repro.NewScheduler(repro.Options{P: *p, Seed: *seed})
 	for _, k := range kinds {
 		for _, n := range sizes {
 			in := distpar.Generate(gen, k, n, *seed+uint64(n))
-			for _, a := range algos {
-				cfg.reqs = append(cfg.reqs, request{size: n, kind: k, alg: a, in: in})
+			if mix == harness.MixAnalytics {
+				cfg.cells = append(cfg.cells, newACell(k, n, in))
+			} else {
+				for _, a := range algos {
+					cfg.reqs = append(cfg.reqs, request{size: n, kind: k, alg: a, in: in})
+				}
 			}
 			if n > cfg.maxSize {
 				cfg.maxSize = n
@@ -175,6 +201,11 @@ func main() {
 		}
 	}
 	gen.Shutdown()
+	if mix == harness.MixAnalytics {
+		cfg.labels = aOps
+	} else {
+		cfg.labels = harness.AlgoNames(algos)
+	}
 
 	// The metrics endpoint outlives the per-point runtimes: each point swaps
 	// its fresh Runtime's registry into the long-lived server, so a scraper
@@ -205,9 +236,10 @@ func main() {
 			// the config reports that point's client count (per-point counts
 			// are in the sweep array).
 			Clients:            last.Clients,
+			Mix:                mix.String(),
 			Sizes:              sizes,
-			Dists:              kindNames(kinds),
-			Algos:              algoNames(algos),
+			Dists:              harness.KindNames(kinds),
+			Algos:              cfg.labels,
 			Seed:               *seed,
 			Batch:              *batch,
 			MaxPendingPerGroup: *maxPending,
@@ -249,7 +281,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "throughput: saturation knee at %d clients\n", rep.KneeClients)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "throughput: %d OUTPUTS NOT SORTED\n", failures)
+		fmt.Fprintf(os.Stderr, "throughput: %d OUTPUTS FAILED VERIFICATION\n", failures)
 		os.Exit(1)
 	}
 	if requests == 0 {
@@ -292,11 +324,15 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 		go func(c int) {
 			defer wg.Done()
 			res := &results[c]
-			res.perAlgo = map[harness.Algorithm]*stats.Sample{}
+			res.perAlgo = map[string]*stats.Sample{}
 			rng := dist.NewRNG(cfg.seed).Split() // per-client request stream
 			// Disjoint skip regions per (sweep point, client): clients get
 			// 2^48-wide lanes, so up to 2^16 clients per point never collide.
 			rng.Skip(uint64(point)<<48 | uint64(c)<<32)
+			if cfg.mix == harness.MixAnalytics {
+				analyticsClient(cfg, rt, rng, deadline, res, &inflightNow, &inflightPeak)
+				return
+			}
 			// Per-client scratch, reused every iteration: allocations inside
 			// the timed loop would perturb the tail latencies being measured.
 			bufs := make([][]int32, cfg.batch)
@@ -330,10 +366,10 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 				inflightNow.Add(-int64(cfg.batch))
 				res.overall.AddDuration(el) // per submission: a whole batch is one sample
 				for _, req := range picked {
-					s := res.perAlgo[req.alg]
+					s := res.perAlgo[req.alg.String()]
 					if s == nil {
 						s = &stats.Sample{}
-						res.perAlgo[req.alg] = s
+						res.perAlgo[req.alg.String()] = s
 					}
 					s.AddDuration(el)
 					res.requests++
@@ -359,7 +395,7 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 
 	// Fold the per-client samples.
 	var overall stats.Sample
-	perAlgo := map[harness.Algorithm]*stats.Sample{}
+	perAlgo := map[string]*stats.Sample{}
 	var requests, failures int64
 	for i := range results {
 		res := &results[i]
@@ -395,10 +431,10 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 			PeakPending:   adm.PeakPending,
 		},
 	}
-	for _, a := range cfg.algos {
-		if s := perAlgo[a]; s != nil {
+	for _, lbl := range cfg.labels {
+		if s := perAlgo[lbl]; s != nil {
 			pt.PerAlgorithm = append(pt.PerAlgorithm, algoReport{
-				Algorithm: a.String(),
+				Algorithm: lbl,
 				Requests:  int64(s.N()),
 				Latency:   latencyOf(s),
 			})
@@ -471,6 +507,7 @@ func batchAlgo(a harness.Algorithm) repro.SortAlgo {
 type configJSON struct {
 	P                  int      `json:"p"`
 	Clients            int      `json:"clients"`
+	Mix                string   `json:"mix"`
 	Sizes              []int    `json:"sizes"`
 	Dists              []string `json:"dists"`
 	Algos              []string `json:"algos"`
@@ -553,41 +590,6 @@ func latencyOf(s *stats.Sample) latencyJSON {
 func admissionLine(a admissionJSON) string {
 	return fmt.Sprintf("injected=%d rejected=%d blocked=%d peak_pending=%d",
 		a.Injected, a.Rejected, a.BlockedSpawns, a.PeakPending)
-}
-
-// parseAlgos accepts the harness column names restricted to algorithms that
-// run on the shared core scheduler (plus the sequential baseline).
-func parseAlgos(csv string) ([]harness.Algorithm, error) {
-	shared := map[harness.Algorithm]bool{
-		harness.SeqSTL: true, harness.Fork: true, harness.MMPar: true,
-		harness.SSort: true, harness.MSort: true,
-	}
-	as, err := harness.ParseAlgorithms(csv)
-	if err != nil {
-		return nil, err
-	}
-	for _, a := range as {
-		if !shared[a] {
-			return nil, fmt.Errorf("algorithm %v does not run on the shared scheduler (want seqstl|fork|mmpar|ssort|msort)", a)
-		}
-	}
-	return as, nil
-}
-
-func kindNames(ks []dist.Kind) []string {
-	out := make([]string, len(ks))
-	for i, k := range ks {
-		out[i] = k.String()
-	}
-	return out
-}
-
-func algoNames(as []harness.Algorithm) []string {
-	out := make([]string, len(as))
-	for i, a := range as {
-		out[i] = a.String()
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -77,6 +77,24 @@ func (h *Hist) Totals() []int { return h.totals }
 // Valid on every member after the collective returns; do not mutate.
 func (h *Hist) Row(m int) []int { return h.rows[m] }
 
+// Cursors fills cur (len ≥ nb) with member lid's private scatter cursors for
+// a conflict-free stable scatter from the last Histogram call: cur[b] =
+// starts[b] plus everything members 0 … lid−1 counted into bucket b, so when
+// every member writes its own chunk's elements at its own cursors (advancing
+// cur[b] per element), the buckets come out contiguous, member-ordered, and
+// write-conflict-free. starts must hold the bucket start offsets (typically
+// the exclusive scan of Totals). The scatter must walk the same member
+// chunks the histogram counted (Chunk).
+func (h *Hist) Cursors(lid int, starts, cur []int) {
+	copy(cur[:h.nb], starts[:h.nb])
+	for m := 0; m < lid; m++ {
+		row := h.rows[m]
+		for b := 0; b < h.nb; b++ {
+			cur[b] += row[b]
+		}
+	}
+}
+
 // SeqHistogram is the sequential oracle: the bucket counts of
 // bucketOf(0) … bucketOf(n−1) over nb buckets.
 func SeqHistogram(n, nb int, bucketOf func(i int) int) []int {

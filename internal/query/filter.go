@@ -1,0 +1,39 @@
+package query
+
+import (
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Filterer is the shared state of a team filter: the compaction state of
+// par.Pack. Allocate once per task with NewFilterer and share via the task
+// closure.
+type Filterer[T any] struct {
+	p *par.Packer[T]
+}
+
+// NewFilterer returns filter state for teams of up to np members.
+func NewFilterer[T any](np int) *Filterer[T] {
+	return &Filterer[T]{p: par.NewPacker[T](np)}
+}
+
+// Filter is a collective stable filter: the elements of src satisfying pred
+// are copied into dst in their original order, and the surviving count is
+// returned to every member. dst must not alias src and must have room for
+// every survivor; pred must be pure (it is evaluated twice per element). A
+// team of size 1 runs the sequential oracle.
+func (f *Filterer[T]) Filter(ctx *core.Ctx, src, dst []T, pred func(T) bool) int {
+	return f.p.Pack(ctx, src, dst, func(_ int, v T) bool { return pred(v) })
+}
+
+// SeqFilter is the sequential oracle of Filter.
+func SeqFilter[T any](src, dst []T, pred func(T) bool) int {
+	return par.SeqPack(src, dst, func(_ int, v T) bool { return pred(v) })
+}
+
+// Filter returns a team task of np members stably filtering src into dst;
+// the surviving count is stored into *outN when non-nil. dst must not alias
+// src.
+func Filter[T any](np int, src, dst []T, pred func(T) bool, outN *int) core.Task {
+	return par.Pack(np, src, dst, func(_ int, v T) bool { return pred(v) }, outN)
+}

@@ -1,0 +1,150 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/query"
+)
+
+// planOracle composes the sequential oracles the same way the plan under
+// test chains its stages: filter → aggregate (side-output) → topk.
+func planOracle(in []int32, k int) (out []int32, agg []int64) {
+	filtered := make([]int32, len(in))
+	filtered = filtered[:query.SeqFilter(in, filtered, predOf)]
+	agg = query.SeqAggregate(filtered, nb, int64(0), lift, keyOf)
+	out = make([]int32, k)
+	out = out[:query.SeqTopK(filtered, out, k)]
+	return out, agg
+}
+
+// TestPlanMatchesOracleComposition checks a multi-stage plan against the
+// composition of the sequential oracles across every distribution, and that
+// the same warm plan stays correct when re-executed on different inputs.
+func TestPlanMatchesOracleComposition(t *testing.T) {
+	s := propSched(t)
+	const k = 64
+	p := query.NewPlan[int32](propN, s.MaxTeam(), 512).
+		Filter(predOf).
+		Aggregate(nb, keyOf, 0, lift, comb).
+		TopK(k)
+	g := s.NewGroup()
+	forEachInput(t, func(t *testing.T, _ dist.Kind, in []int32) {
+		wantOut, wantAgg := planOracle(in, k)
+		res := p.Execute(g, in)
+		checkSlice(t, "plan-out", 0, res.Out, wantOut)
+		checkSlice(t, "plan-agg", 0, res.Aggregates, wantAgg)
+		if res.Starts != nil {
+			t.Fatal("plan without a GroupBy stage reported Starts")
+		}
+	})
+}
+
+// TestPlanGroupByStage checks the GroupBy stage inside a chain: the stream
+// must pass through reordered with offsets published.
+func TestPlanGroupByStage(t *testing.T) {
+	s := propSched(t)
+	in := dist.Generate(dist.RandDup, propN, 21)
+	p := query.NewPlan[int32](propN, s.MaxTeam(), 512).
+		Filter(predOf).
+		GroupBy(nb, keyOf)
+	g := s.NewGroup()
+
+	filtered := make([]int32, len(in))
+	filtered = filtered[:query.SeqFilter(in, filtered, predOf)]
+	wantGrouped := make([]int32, len(filtered))
+	wantStarts := query.SeqGroupBy(filtered, wantGrouped, nb, keyOf)
+
+	res := p.Execute(g, in)
+	checkSlice(t, "plan-grouped", 0, res.Out, wantGrouped)
+	checkSlice(t, "plan-starts", 0, res.Starts, wantStarts)
+}
+
+// TestPlanEdgeSizes runs the plan at the empty-chunk edge sizes, including
+// inputs smaller than the widest team.
+func TestPlanEdgeSizes(t *testing.T) {
+	s := propSched(t)
+	const k = 3
+	p := query.NewPlan[int32](propN, s.MaxTeam(), 512).
+		Filter(predOf).
+		Aggregate(nb, keyOf, 0, lift, comb).
+		TopK(k)
+	g := s.NewGroup()
+	for _, n := range []int{0, 1, 2, 5} {
+		in := dist.Generate(dist.RandDup, n, 3)
+		wantOut, wantAgg := planOracle(in, k)
+		res := p.Execute(g, in)
+		checkSlice(t, "edge-out", n, res.Out, wantOut)
+		checkSlice(t, "edge-agg", n, res.Aggregates, wantAgg)
+	}
+}
+
+// TestPlanExecuteWarmAllocs pins the allocation contract of Plan.Execute:
+// once the plan and group are warm, re-executing allocates nothing beyond
+// the documented buffers (which are built by NewPlan, not Execute) — no
+// per-task closures and no per-element allocations. What remains is the
+// scheduler-side admission cost of injecting each stage from outside a
+// worker (Group.Run per stage; the zero-alloc gate covers interior spawns
+// only), a small constant per stage. The essential assertion is that the
+// total does not scale with input size.
+func TestPlanExecuteWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := propSched(t)
+	const n = 1 << 15 // large enough that per-element allocs would explode the count
+	const stages = 3
+	in := dist.Generate(dist.Staggered, n, 5)
+	p := query.NewPlan[int32](n, s.MaxTeam(), 512).
+		Filter(predOf).
+		Aggregate(nb, keyOf, 0, lift, comb).
+		TopK(100)
+	g := s.NewGroup()
+	p.Execute(g, in) // warm: first run settles lazily-grown scheduler state
+
+	avg := testing.AllocsPerRun(20, func() {
+		res := p.Execute(g, in)
+		if len(res.Aggregates) != nb {
+			t.Fatal("bad result")
+		}
+	})
+	if max := float64(6 * stages); avg > max {
+		t.Fatalf("warm Plan.Execute allocates %.1f objects/run, want ≤ %.0f (constant per stage)", avg, max)
+	}
+}
+
+// TestPlanCapacityPanic pins the documented capacity contract.
+func TestPlanCapacityPanic(t *testing.T) {
+	s := propSched(t)
+	p := query.NewPlan[int32](8, s.MaxTeam(), 0).Filter(predOf)
+	g := s.NewGroup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Execute over capacity did not panic")
+		}
+	}()
+	p.Execute(g, make([]int32, 9))
+}
+
+// TestPlanReusableGroup pins that Execute leaves its group reusable: other
+// tasks can run in the same group before and after.
+func TestPlanReusableGroup(t *testing.T) {
+	s := propSched(t)
+	in := dist.Generate(dist.Random, 4096, 17)
+	p := query.NewPlan[int32](len(in), s.MaxTeam(), 512).Filter(predOf)
+	g := s.NewGroup()
+
+	ran := false
+	g.Run(core.Solo(func(*core.Ctx) { ran = true }))
+	res := p.Execute(g, in)
+	g.Run(core.Solo(func(*core.Ctx) { ran = ran && true }))
+	g.Wait()
+
+	want := make([]int32, len(in))
+	want = want[:query.SeqFilter(in, want, predOf)]
+	checkSlice(t, "group-reuse", 0, res.Out, want)
+	if !ran {
+		t.Fatal("solo task did not run")
+	}
+}

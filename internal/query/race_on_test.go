@@ -1,0 +1,7 @@
+//go:build race
+
+package query_test
+
+// raceEnabled reports that this test binary runs under the race detector
+// (which instruments allocations, so alloc-count assertions do not hold).
+const raceEnabled = true

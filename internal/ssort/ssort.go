@@ -140,7 +140,8 @@ type task[T qsort.Ordered] struct {
 
 	hist   *par.Hist
 	scan   *par.Scanner[int]
-	starts []int // bucket start offsets after the exclusive scan
+	starts []int   // bucket start offsets after the exclusive scan
+	curs   [][]int // per-member scatter cursors (row per member, no sharing)
 }
 
 func newTask[T qsort.Ordered](data, scratch []T, np int, opt Options, fp *qsort.ForkPool[T]) *task[T] {
@@ -148,6 +149,10 @@ func newTask[T qsort.Ordered](data, scratch []T, np int, opt Options, fp *qsort.
 	ss := nb * opt.Oversample
 	if ss > len(data) {
 		ss = len(data)
+	}
+	curs := make([][]int, np)
+	for m := range curs {
+		curs[m] = make([]int, nb)
 	}
 	return &task[T]{
 		data: data, scratch: scratch, np: np, opt: opt, fp: fp,
@@ -157,6 +162,7 @@ func newTask[T qsort.Ordered](data, scratch []T, np int, opt Options, fp *qsort.
 		hist:      par.NewHist(np, nb),
 		scan:      par.NewScanner(np, 0, func(a, b int) int { return a + b }),
 		starts:    make([]int, nb),
+		curs:      curs,
 	}
 }
 
@@ -209,13 +215,8 @@ func (t *task[T]) Run(ctx *core.Ctx) {
 	// Step 4: scatter. Each member reserves its own region inside every
 	// bucket (bucket start + what earlier members counted there), so the
 	// writes are conflict-free and the compaction is stable.
-	cur := make([]int, t.nb)
-	for b := range cur {
-		cur[b] = t.starts[b]
-		for m := 0; m < lid; m++ {
-			cur[b] += t.hist.Row(m)[b]
-		}
-	}
+	cur := t.curs[lid]
+	t.hist.Cursors(lid, t.starts, cur)
 	lo, hi := par.Chunk(lid, w, n) // must match par.Hist's counting chunks
 	for i := lo; i < hi; i++ {
 		b := bucketIndex(t.splitters, t.data[i])

@@ -39,18 +39,38 @@ const numSortAlgos = 4
 // harness column names used across the benchmark tooling.
 var sortAlgoNames = [numSortAlgos]string{"mmpar", "fork", "ssort", "msort"}
 
-// runtimeMetrics instruments a Runtime's sort requests: one end-to-end
-// latency histogram and one in-flight gauge per algorithm. Requests only
-// touch a sharded histogram (shard picked by a round-robin ticket — one
-// shared atomic add per request, not per task; the per-task hot path inside
-// the scheduler stays untouched) and the algorithm's in-flight counter.
+// queryOp indexes the analytics request families of runtimeMetrics, one per
+// Runtime query entry point (see analytics.go).
+type queryOp int
+
+const (
+	qopFilter queryOp = iota
+	qopGroupBy
+	qopAggregate
+	qopTopK
+	qopJoin
+	qopPlan
+	numQueryOps
+)
+
+// queryOpNames labels each queryOp in the metrics registry.
+var queryOpNames = [numQueryOps]string{"filter", "groupby", "aggregate", "topk", "join", "plan"}
+
+// runtimeMetrics instruments a Runtime's sort and analytics requests: one
+// end-to-end latency histogram and one in-flight gauge per sort algorithm
+// and per query operator. Requests only touch a sharded histogram (shard
+// picked by a round-robin ticket — one shared atomic add per request, not
+// per task; the per-task hot path inside the scheduler stays untouched) and
+// the family's in-flight counter.
 type runtimeMetrics struct {
-	initOnce sync.Once
-	regOnce  sync.Once
-	reg      *stats.Registry
-	hist     [numSortAlgos]*stats.Histogram
-	inflight [numSortAlgos]atomic.Int64
-	rr       atomic.Uint32 // round-robin histogram shard ticket
+	initOnce  sync.Once
+	regOnce   sync.Once
+	reg       *stats.Registry
+	hist      [numSortAlgos]*stats.Histogram
+	inflight  [numSortAlgos]atomic.Int64
+	qhist     [numQueryOps]*stats.Histogram
+	qinflight [numQueryOps]atomic.Int64
+	rr        atomic.Uint32 // round-robin histogram shard ticket
 }
 
 // init creates the histograms (shards sized to the scheduler). Called from
@@ -64,6 +84,9 @@ func (m *runtimeMetrics) init(p int) {
 		}
 		for a := range m.hist {
 			m.hist[a] = stats.NewHistogram(shards)
+		}
+		for q := range m.qhist {
+			m.qhist[q] = stats.NewHistogram(shards)
 		}
 	})
 }
@@ -82,13 +105,28 @@ func (m *runtimeMetrics) end(a SortAlgo, shard int, t0 time.Time) {
 	m.inflight[a].Add(-1)
 }
 
+// beginQ / endQ are begin / end for analytics requests (see analytics.go).
+func (m *runtimeMetrics) beginQ(q queryOp, p int) (int, time.Time) {
+	m.init(p)
+	m.qinflight[q].Add(1)
+	return int(m.rr.Add(1)), time.Now()
+}
+
+func (m *runtimeMetrics) endQ(q queryOp, shard int, t0 time.Time) {
+	m.qhist[q].ObserveDuration(shard, time.Since(t0))
+	m.qinflight[q].Add(-1)
+}
+
 // Metrics returns the Runtime's metrics registry: the underlying
 // scheduler's full metric surface (worker counters, admission, quiescence
 // scans, free lists, named groups) plus the Runtime's own per-algorithm
 // families — repro_sort_latency_seconds{algo=...} end-to-end latency
 // histograms, repro_sorts_total{algo=...} request counters, and
 // repro_group_pending_sorts{group=...} in-flight gauges (one quiescence
-// group per request, labeled by the algorithm the group ran).
+// group per request, labeled by the algorithm the group ran) — and the
+// analytics families mirroring them per query operator:
+// repro_query_latency_seconds{op=...}, repro_queries_total{op=...}, and
+// repro_group_pending_queries{group=...} (see analytics.go).
 //
 // The registry is built once per Runtime and reads live state at scrape
 // time; expose it with ServeMetrics or any HTTP mux. Runtimes sharing one
@@ -112,6 +150,20 @@ func (r *Runtime[T]) Metrics() *Metrics {
 				"Sort requests currently in flight, by the algorithm their quiescence group runs.",
 				[]stats.Label{{Name: "group", Value: sortAlgoNames[a]}},
 				func() float64 { return float64(r.m.inflight[a].Load()) })
+		}
+		for q := range queryOpNames {
+			q := q
+			opLbl := []stats.Label{{Name: "op", Value: queryOpNames[q]}}
+			reg.Histogram("repro_query_latency_seconds",
+				"End-to-end latency of Runtime analytics requests.",
+				opLbl, r.m.qhist[q])
+			reg.CounterFunc("repro_queries_total",
+				"Completed Runtime analytics requests.",
+				opLbl, func() float64 { return float64(r.m.qhist[q].Snapshot().Count) })
+			reg.GaugeFunc("repro_group_pending_queries",
+				"Analytics requests currently in flight, by the operator their quiescence group runs.",
+				[]stats.Label{{Name: "group", Value: queryOpNames[q]}},
+				func() float64 { return float64(r.m.qinflight[q].Load()) })
 		}
 		r.m.reg = reg
 	})

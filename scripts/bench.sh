@@ -17,6 +17,10 @@ set -euo pipefail
 #   BENCH_par.json         primitive throughput (Reduce/Scan/Pack/Histogram/MinMax/Map)
 #   BENCH_sort.json        mixed-mode quicksort vs samplesort per distribution
 #   BENCH_throughput.json  C concurrent clients × request mix on one shared scheduler
+#   BENCH_query.json       analytics operators: {operators} per-operator team
+#                          benchmarks (ns/op), {analytics_mix} the multi-client
+#                          `cmd/throughput -mix analytics` report (req/s +
+#                          per-operator latency percentiles)
 #
 # Environment:
 #   BENCHTIME     per-benchmark time or count (default 1s; bench-smoke uses
@@ -70,5 +74,24 @@ go test -run '^$' -bench '^Benchmark(SSort|MMQsort)$' \
 echo "bench: throughput (${TP_CLIENTS} clients, ${TP_DURATION}) -> ${OUTDIR}/BENCH_throughput.json"
 go run ./cmd/throughput -clients "${TP_CLIENTS}" -duration "${TP_DURATION}" \
   ${TP_ARGS[@]+"${TP_ARGS[@]}"} > "${OUTDIR}/BENCH_throughput.json"
+
+echo "bench: query (benchtime ${BENCHTIME}; analytics mix ${TP_CLIENTS} clients, ${TP_DURATION}) -> ${OUTDIR}/BENCH_query.json"
+querydir=$(mktemp -d)
+trap 'rm -rf "${querydir}"' EXIT
+go test -run '^$' -bench '^BenchmarkQuery' \
+  -benchtime "${BENCHTIME}" -json ./internal/query |
+  go run ./scripts/benchjson > "${querydir}/operators.json"
+# The analytics mix reuses the sort harness knobs (clients, duration,
+# admission bound); the sweep stays a sort-mode concern.
+go run ./cmd/throughput -mix analytics -clients "${TP_CLIENTS}" -duration "${TP_DURATION}" \
+  -max-inject "${TP_MAXINJECT}" -sizes 65536,262144 -dists random,staggered \
+  > "${querydir}/mix.json"
+{
+  printf '{"operators":'
+  cat "${querydir}/operators.json"
+  printf ',"analytics_mix":'
+  cat "${querydir}/mix.json"
+  printf '}\n'
+} > "${OUTDIR}/BENCH_query.json"
 
 echo "bench: PASS"

@@ -28,11 +28,13 @@ go test ./...
 # the root package) plus the hot-path recycling machinery: the node/ctx
 # free lists and the sharded in-flight scan in ./internal/core, the
 # owner-pop slot clearing in ./internal/deque, the pooled spawn
-# wrappers of the three sorting packages, the seqlock-stamped
-# histogram/registry read paths in ./internal/stats, and the seqlock-
-# stamped event rings and sampling profiler in ./internal/trace.
-echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace"
-go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/ssort ./internal/stats ./internal/trace
+# wrappers of the three sorting packages, the team-collective analytics
+# operators in ./internal/query (barrier-separated phases over shared
+# state), the seqlock-stamped histogram/registry read paths in
+# ./internal/stats, and the seqlock-stamped event rings and sampling
+# profiler in ./internal/trace.
+echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace"
+go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace
 
 echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
@@ -80,6 +82,51 @@ go run ./cmd/throughput -clients 4 -sizes 65536 -dists random -algos mmpar,fork 
   -duration 300ms -trace-out "${tracedir}/trace.json" -profile-hz 199 > /dev/null
 "${tracedir}/tracecheck" -min-events 100 "${tracedir}/trace.json"
 rm -rf "${tracedir}"
+
+echo "check: analytics-mix smoke (query operators end to end, /metrics + trace mid-mix)"
+amixdir=$(mktemp -d)
+amix_pid=""
+cleanup_amix() {
+  [[ -n "${amix_pid}" ]] && kill "${amix_pid}" 2>/dev/null || true
+  rm -rf "${amixdir}"
+}
+trap 'cleanup_metrics; cleanup_amix' EXIT
+go build -o "${amixdir}/metricscheck" ./scripts/metricscheck
+go build -o "${amixdir}/tracecheck" ./scripts/tracecheck
+go run ./cmd/throughput -mix analytics -clients 4 -sizes 65536 -dists random,randdup \
+  -duration 3s -metrics-addr 127.0.0.1:0 -trace-out "${amixdir}/trace.json" \
+  > "${amixdir}/tp.json" 2> "${amixdir}/tp.err" &
+amix_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^throughput: metrics listening on //p' "${amixdir}/tp.err" | head -n1)
+  [[ -n "${addr}" ]] && break
+  if ! kill -0 "${amix_pid}" 2>/dev/null; then
+    echo "check: FAIL (analytics throughput exited before advertising its metrics address)"
+    cat "${amixdir}/tp.err"
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${addr}" ]]; then
+  echo "check: FAIL (no metrics address advertised by the analytics mix)"
+  cat "${amixdir}/tp.err"
+  exit 1
+fi
+"${amixdir}/metricscheck" -retry 5s \
+  -require repro_queries_total,repro_query_latency_seconds_bucket,repro_group_pending_queries,repro_sched_steals_total \
+  "http://${addr}/metrics"
+wait "${amix_pid}"
+amix_pid=""
+"${amixdir}/tracecheck" -min-events 100 "${amixdir}/trace.json"
+if ! grep -q '"mix": *"analytics"' "${amixdir}/tp.json"; then
+  echo "check: FAIL (analytics report does not record its mix)"
+  cat "${amixdir}/tp.json"
+  exit 1
+fi
+rm -rf "${amixdir}"
+amixdir=""
+cleanup_amix() { :; }
 
 echo "check: bench-smoke (one tiny repetition of each trajectory benchmark)"
 BENCHTIME=1x OUTDIR="$(mktemp -d)" ./scripts/bench.sh

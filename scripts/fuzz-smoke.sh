@@ -18,8 +18,10 @@ missing=()
 
 # internal/core carries FuzzGroup (per-group quiescence) and FuzzAdmission
 # (bounded inject queues: fairness + bound invariants under random floods);
-# internal/stats carries FuzzPercentile (nearest-rank vs brute-force oracle).
-fuzzDirs=(internal/core internal/dist internal/par internal/stats)
+# internal/stats carries FuzzPercentile (nearest-rank vs brute-force oracle);
+# internal/query carries FuzzFilter/FuzzGroupBy/FuzzMergeJoin/FuzzPlan
+# (analytics operators and random plans vs their sequential oracles).
+fuzzDirs=(internal/core internal/dist internal/par internal/query internal/stats)
 
 for dir in "${fuzzDirs[@]}"; do
   if ! grep -rEn --include='*_test.go' "${fuzzRegex}" "${dir}" >/dev/null 2>&1; then
