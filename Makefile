@@ -1,5 +1,10 @@
-# Tier-1 gate (ROADMAP.md): build + test, plus vet and targeted race runs.
-.PHONY: all build test vet race check fuzz-smoke bench bench-json bench-smoke tables
+# Tier-1 gate (ROADMAP.md): build + test, plus vet, lint, and targeted race
+# runs. The race package list and vet flags are defined once in
+# scripts/checkdefs.sh, shared with scripts/check.sh.
+.PHONY: all build test vet lint race check fuzz-smoke bench bench-json bench-smoke tables
+
+RACE_PKGS := $(shell . ./scripts/checkdefs.sh; echo $$RACE_PKGS)
+VET_FLAGS := $(shell . ./scripts/checkdefs.sh; echo $$VET_FLAGS)
 
 all: check
 
@@ -10,10 +15,16 @@ test:
 	go test ./...
 
 vet:
-	go vet ./...
+	go vet $(VET_FLAGS) ./...
+
+# Invariant linting: the reprolint analyzer suite (with its directive
+# manifest) plus the compiler-escape complement for //repro:noalloc.
+lint:
+	go run ./cmd/reprolint ./...
+	go run ./scripts/escapecheck
 
 race:
-	go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace
+	go test -race $(RACE_PKGS)
 
 # Full verification gate: build, vet, test, race.
 check:

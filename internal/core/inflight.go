@@ -37,16 +37,21 @@ import "sync/atomic"
 // inflightShard is one worker's slice of the global in-flight count. The
 // padding keeps adjacent shards on separate cache lines, so the owner's
 // stores never invalidate another worker's line.
+//
+//repro:padded shards sit in one array; stride must be a cache-line multiple
 type inflightShard struct {
-	count atomic.Int64  // spawns minus completions recorded by the owner
-	stamp atomic.Uint64 // update generation: odd while an update is in flight
-	_     [112]byte     // pad the struct to two cache lines
+	count atomic.Int64 // spawns minus completions recorded by the owner
+	//repro:seqlock update generation: odd while an update is in flight
+	stamp atomic.Uint64
+	_     [112]byte // pad the struct to two cache lines
 }
 
 // inflightAdd records d (±1) on the worker's own shard. Owner-only: the
 // mirrors make every write a plain store, and the stamp bracket (odd →
 // stable value → even) is what lets the quiescence scan validate itself
 // without any shared state.
+//
+//repro:noalloc runs twice per task; an allocation here is a hot-path regression
 func (w *worker) inflightAdd(d int64) {
 	h := w.shard
 	w.stampMirror++

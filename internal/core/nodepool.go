@@ -39,6 +39,8 @@ var sharedNodes = sync.Pool{New: func() any { return new(node) }}
 // getNode returns a cleared node: from the worker's own free list if
 // possible (the steady-state interior path — no locks, no allocation),
 // otherwise from the shared pool.
+//
+//repro:noalloc steady-state spawns must recycle, never allocate
 func (w *worker) getNode() *node {
 	if k := len(w.free) - 1; k >= 0 {
 		n := w.free[k]
@@ -53,10 +55,12 @@ func (w *worker) getNode() *node {
 // freeNode recycles n after its task completed (or was handed off to a team
 // execution). The reference fields are cleared so a parked node never
 // retains a finished task or its captured buffers.
+//
+//repro:noalloc runs once per task completion
 func (w *worker) freeNode(n *node) {
 	n.task, n.group, n.tid = nil, nil, 0
 	if len(w.free) < nodeFreeCap {
-		w.free = append(w.free, n)
+		w.free = append(w.free, n) //repro:allow capacity-bounded by nodeFreeCap; grows only until warm
 		w.freeLen.Store(int64(len(w.free)))
 		return
 	}
@@ -74,21 +78,25 @@ func (w *worker) freeNode(n *node) {
 // method always escapes, so without recycling every task execution heap-
 // allocates one Ctx. Owner-only; nested executions (a TaskGroup.Wait
 // helping inside a running task) simply draw additional contexts.
+//
+//repro:noalloc runs once per task execution
 func (w *worker) getCtx() *Ctx {
 	if k := len(w.ctxFree) - 1; k >= 0 {
 		c := w.ctxFree[k]
 		w.ctxFree = w.ctxFree[:k]
 		return c
 	}
-	return new(Ctx)
+	return new(Ctx) //repro:allow cold refill; steady state always hits the free list
 }
 
 // putCtx recycles c after Task.Run returned. Tasks must not retain their
 // context beyond Run (see the Ctx contract in task.go).
+//
+//repro:noalloc runs once per task execution
 func (w *worker) putCtx(c *Ctx) {
 	*c = Ctx{}
 	if len(w.ctxFree) < ctxFreeCap {
-		w.ctxFree = append(w.ctxFree, c)
+		w.ctxFree = append(w.ctxFree, c) //repro:allow capacity-bounded by ctxFreeCap; grows only until warm
 	}
 }
 

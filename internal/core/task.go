@@ -93,6 +93,8 @@ type Ctx struct {
 // matching t.Threads() (Refinement 1). The spawned task joins the running
 // task's group (see Group), so a group's Wait covers the whole descendant
 // tree. It panics if the requirement exceeds Scheduler.MaxTeam().
+//
+//repro:noalloc the public face of the zero-alloc spawn path
 func (c *Ctx) Spawn(t Task) { c.w.spawn(t, c.group) }
 
 // Group returns the quiescence group the running task belongs to, or nil
@@ -124,6 +126,8 @@ func (c *Ctx) Scheduler() *Scheduler { return c.w.sched }
 // Barrier blocks until all TeamSize() workers of this task have reached the
 // barrier. It is a no-op for single-threaded tasks. The barrier is reusable
 // for any number of phases.
+//
+//repro:noalloc team phases hit the barrier per chunk; it must stay alloc-free
 func (c *Ctx) Barrier() {
 	if c.exec == nil {
 		return

@@ -31,6 +31,8 @@ func traceNames(p int) []string {
 // sites (spawn, runSolo, taskDone) inline the same guard directly instead
 // of calling through here; either way a disabled tracer costs one predicted
 // branch on an atomic bool load.
+//
+//repro:noalloc called from the worker main loop; a disabled tracer must stay free
 func (w *worker) ev(k trace.Kind, other, x int, arg uint64) {
 	if xt := w.sched.xt; xt.Enabled() {
 		xt.Record(w.id, k, other, uint32(x), arg)
@@ -42,6 +44,8 @@ func (w *worker) ev(k trace.Kind, other, x int, arg uint64) {
 // executions (TaskGroup.Wait helping inside a running task) can restore it.
 // Owner-only plain store on the worker's own line — the freeLen mirror
 // precedent — so it costs nothing shared on the hot path.
+//
+//repro:noalloc state transitions happen several times per loop iteration
 func (w *worker) setState(st trace.State) trace.State {
 	prev := trace.State(w.state.Load())
 	w.state.Store(uint32(st))

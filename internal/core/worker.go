@@ -129,6 +129,8 @@ func (w *worker) partnerAt(l int) *worker {
 // worker's free list, the accounting touches only the worker's own
 // in-flight shard, and nothing is allocated — the r = 1 spawn really does
 // cost no more than classical work-stealing.
+//
+//repro:noalloc the r = 1 spawn path is the paper's zero-overhead claim; TestSpawnZeroAlloc pins it
 func (w *worker) spawn(t Task, g *Group) {
 	r := t.Threads()
 	w.sched.validateReq(r)
@@ -151,6 +153,8 @@ func (w *worker) spawn(t Task, g *Group) {
 // its size class. Spawns is counted at the true spawn sites (spawn and the
 // admission path's accounting), not here: pushNode also serves takeInjected,
 // whose takes are reported as InjectTakes, not spawns.
+//
+//repro:noalloc runs once per spawned or injected task
 func (w *worker) pushNode(n *node) {
 	w.queues[topo.Level(n.r)].PushBottom(n)
 }
@@ -206,6 +210,8 @@ func (w *worker) idleWait() {
 // claim for r = 1). The node is recycled before the task runs — its content
 // is already copied out, and freeing first lets the task's own spawns reuse
 // it immediately.
+//
+//repro:noalloc the r = 1 execution path allocates nothing around Task.Run
 func (w *worker) runSolo(n *node) {
 	task, g, tid := n.task, n.group, n.tid
 	w.freeNode(n)

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix reports struct fields that are accessed through sync/atomic in
+// one place and with plain loads/stores in another. Two access styles are
+// recognized as atomic: fields whose type is (an array of) one of the
+// sync/atomic value types, whose only safe uses are method calls and
+// address-taking; and plain-typed fields whose address — or the address of
+// one of their elements — is passed to a sync/atomic function
+// (atomic.LoadInt64(&r.slots[i])). For the second style every other plain
+// read or write of the same field must carry a //repro:ownerstore
+// directive naming why the mixed access is safe (the owner-mirror and
+// init-before-publish conventions of internal/core and internal/trace).
+//
+// The check is per package (the fields in question are unexported), and it
+// does not attempt happens-before reasoning: the directive is the human
+// assertion, the analyzer's job is to make sure it is present and
+// deliberate.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "atomically accessed fields must not also be accessed plainly without //repro:ownerstore",
+	Run:  runAtomicMix,
+}
+
+// isAtomicValueType reports whether t, after peeling arrays, is one of the
+// sync/atomic value types (atomic.Int64, atomic.Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	for {
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			t = arr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isAtomicValueType(types.Unalias(alias))
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicPkgFunc reports whether call invokes a function of package
+// sync/atomic (the function style: atomic.AddInt64 & friends).
+func atomicPkgFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldOfSelector returns the struct field a selector expression reads, or
+// nil if it is not a field selection.
+func fieldOfSelector(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}
+
+// innerFieldSel peels index expressions and parens off e and returns the
+// underlying field selector, if any: &r.slots[i*pad] resolves to r.slots.
+func innerFieldSel(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find the fields accessed through sync/atomic functions, and
+	// remember the exact selector nodes inside those calls (they are the
+	// sanctioned accesses).
+	fnAtomic := make(map[*types.Var]token.Pos) // field -> one atomic-access site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !atomicPkgFunc(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel := innerFieldSel(un.X)
+				if sel == nil {
+					continue
+				}
+				if fld := fieldOfSelector(info, sel); fld != nil {
+					if _, seen := fnAtomic[fld]; !seen {
+						fnAtomic[fld] = call.Pos()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: classify every field selection.
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				// Composite-literal initialization is a plain store too:
+				// &T{field: v} on an atomically accessed field needs the
+				// init-before-publish justification.
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if fld, ok := info.Uses[key].(*types.Var); ok && fld.IsField() {
+						if at, isFn := fnAtomic[fld]; isFn && !pass.Allowed(KindOwnerStore, key.Pos()) {
+							pass.Reportf(key.Pos(),
+								"field %s is accessed via sync/atomic (e.g. at %s); plain initialization needs a //repro:ownerstore justification",
+								fld.Name(), pass.Pkg.Fset.Position(at))
+						}
+					}
+				}
+				return true
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOfSelector(info, sel)
+			if fld == nil {
+				return true
+			}
+			if _, isFn := fnAtomic[fld]; isFn && !sanctioned[sel] {
+				if !pass.Allowed(KindOwnerStore, sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed via sync/atomic (e.g. at %s); plain access needs a //repro:ownerstore justification",
+						fld.Name(), pass.Pkg.Fset.Position(fnAtomic[fld]))
+				}
+				return true
+			}
+			if isAtomicValueType(fld.Type()) && !typedAtomicUseOK(stack) {
+				if !pass.Allowed(KindOwnerStore, sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"atomic-typed field %s used as a plain value (copy or direct store); use its methods, or justify with //repro:ownerstore",
+						fld.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typedAtomicUseOK reports whether the field selector on top of the stack
+// is used in one of the safe forms for an atomic-typed value: selecting a
+// method on it (possibly through an element index for arrays of atomics)
+// or taking its address.
+func typedAtomicUseOK(stack []ast.Node) bool {
+	cur := stack[len(stack)-1].(ast.Expr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == cur { // indexing into an array of atomics
+				cur = p
+				continue
+			}
+			return false
+		case *ast.SelectorExpr:
+			return p.X == cur // method (or field) selection on the atomic value
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}

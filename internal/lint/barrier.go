@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Barrier enforces the team-collective contract of internal/par and
+// internal/query: a function annotated //repro:barrier is entered by every
+// member of a team, and every member must reach the trailing team barrier
+// before returning — a member that returns early deadlocks the rest of the
+// team (or silently reads unmerged state on reuse). Concretely, every
+// return path must end at a barrier:
+//
+//   - a ctx.Barrier() call (any zero-argument method named Barrier), or a
+//     call to another //repro:barrier-annotated collective (annotations
+//     resolve across packages, so query collectives may delegate their
+//     barrier to a par collective), either as the statement directly
+//     before the return or inside the return expression / the directly
+//     preceding assignment;
+//   - or the return sits under a team-size-1 guard (an if whose condition
+//     compares a value of ctx.TeamSize() against 1) — the documented
+//     sequential-oracle path, where the member IS the whole team;
+//   - or the return carries a //repro:allow justification.
+//
+// A function without results must additionally end in a barrier (or a
+// return) so it cannot fall off the end barrier-less. The analyzer checks
+// reachability of A barrier, not that no shared state is written after it;
+// phase ordering inside the collective stays the author's contract.
+var Barrier = &Analyzer{
+	Name: "barrier",
+	Doc:  "//repro:barrier collectives must reach the team barrier on every return path",
+	Run:  runBarrier,
+}
+
+func runBarrier(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Index.DeclHas(fd.Name.Pos(), KindBarrier) {
+				continue
+			}
+			checkBarrier(pass, fd)
+		}
+	}
+}
+
+type barrierChecker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	// teamSizeVars are the objects bound (directly or through a tuple
+	// assignment) to a ctx.TeamSize() result.
+	teamSizeVars map[types.Object]bool
+}
+
+func checkBarrier(pass *Pass, fd *ast.FuncDecl) {
+	c := &barrierChecker{pass: pass, fd: fd, teamSizeVars: make(map[types.Object]bool)}
+	c.collectTeamSizeVars()
+
+	// Walk with an ancestor stack; judge every return statement.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Closures are not the collective's member path. Pop now: Inspect
+			// sends no nil for a pruned subtree.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			c.checkReturn(ret, stack)
+		}
+		return true
+	})
+
+	// Fall-off-the-end path (only functions without results can take it).
+	if c.fnResults() == 0 && !endsCovered(c, fd.Body.List) {
+		pass.Reportf(fd.Body.Rbrace, "collective %s can fall off the end without reaching the team barrier (annotate //repro:barrier paths)", fd.Name.Name)
+	}
+}
+
+func (c *barrierChecker) fnResults() int {
+	if obj, ok := c.pass.Pkg.Info.Defs[c.fd.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature).Results().Len()
+	}
+	return 0
+}
+
+// collectTeamSizeVars records identifiers assigned from ctx.TeamSize().
+func (c *barrierChecker) collectTeamSizeVars() {
+	info := c.pass.Pkg.Info
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isTeamSizeCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					c.teamSizeVars[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					c.teamSizeVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isTeamSizeCall matches a call to a method named TeamSize.
+func isTeamSizeCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "TeamSize"
+}
+
+// isBarrierCall matches ctx.Barrier() or a call to an annotated collective.
+func (c *barrierChecker) isBarrierCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Barrier" && len(call.Args) == 0 {
+			return true
+		}
+		if obj := c.calleeObj(fun.Sel); obj != nil && c.pass.Index.DeclHas(obj.Pos(), KindBarrier) {
+			return true
+		}
+	case *ast.Ident:
+		if obj := c.pass.Pkg.Info.Uses[fun]; obj != nil && c.pass.Index.DeclHas(obj.Pos(), KindBarrier) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the invoked function object of a selector call,
+// preferring the selection (methods, including generic instantiations)
+// over plain uses (package-qualified functions).
+func (c *barrierChecker) calleeObj(sel *ast.Ident) types.Object {
+	info := c.pass.Pkg.Info
+	if obj := info.Uses[sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			if orig := fn.Origin(); orig != nil {
+				return orig
+			}
+		}
+		return obj
+	}
+	return nil
+}
+
+// containsBarrier reports whether a barrier call occurs anywhere in n
+// (closures excluded).
+func (c *barrierChecker) containsBarrier(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && c.isBarrierCall(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSize1Cond matches the sequential-oracle guard: a comparison of a
+// TeamSize-derived value against 1 (w == 1, w <= 1, 1 == w, ctx.TeamSize() == 1).
+func (c *barrierChecker) isSize1Cond(e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.EQL, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	isOne := func(e ast.Expr) bool {
+		bl, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && bl.Value == "1"
+	}
+	isTeam := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isTeamSizeCall(e) {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := c.pass.Pkg.Info.Uses[id]
+		return obj != nil && c.teamSizeVars[obj]
+	}
+	return (isOne(bin.X) && isTeam(bin.Y)) || (isOne(bin.Y) && isTeam(bin.X))
+}
+
+// checkReturn judges one return statement given its ancestor stack.
+func (c *barrierChecker) checkReturn(ret *ast.ReturnStmt, stack []ast.Node) {
+	// (a) barrier inside the return expression itself.
+	for _, res := range ret.Results {
+		if c.containsBarrier(res) {
+			return
+		}
+	}
+	// (b) the statement directly before the return in its enclosing block.
+	if prev := prevSibling(stack, ret); prev != nil && c.containsBarrier(prev) {
+		return
+	}
+	// (c) under a team-size-1 guard (if body, not else).
+	for i := len(stack) - 2; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The return must be in the body (the guarded branch), not the else.
+		if containsNode(ifs.Body, ret) && c.isSize1Cond(ifs.Cond) {
+			return
+		}
+	}
+	// (d) explicit site waiver.
+	if c.pass.Allowed(KindAllow, ret.Pos()) {
+		return
+	}
+	c.pass.Reportf(ret.Pos(), "return in collective %s does not reach the team barrier (add the trailing Barrier, a team-size-1 guard, or //repro:allow)", c.fd.Name.Name)
+}
+
+// prevSibling returns the statement immediately preceding ret inside its
+// innermost enclosing statement list, or nil if ret is first.
+func prevSibling(stack []ast.Node, ret ast.Stmt) ast.Stmt {
+	// Find the nearest ancestor holding a []ast.Stmt that directly contains
+	// the chain element leading to ret.
+	child := ast.Node(ret)
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			child = stack[i]
+			continue
+		}
+		for j, s := range list {
+			if s == child {
+				if j > 0 {
+					return list[j-1]
+				}
+				return nil
+			}
+		}
+		child = stack[i]
+	}
+	return nil
+}
+
+// containsNode reports whether target occurs within root.
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// endsCovered reports whether the trailing path of a statement list ends
+// at a barrier, a return, or a non-falling-through statement.
+func endsCovered(c *barrierChecker, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	last := stmts[len(stmts)-1]
+	switch s := last.(type) {
+	case *ast.ReturnStmt:
+		return true // judged by checkReturn
+	case *ast.IfStmt:
+		// Every branch must be covered; a missing else means fall-through.
+		if s.Else == nil {
+			return false
+		}
+		elseCovered := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseCovered = endsCovered(c, e.List)
+		case *ast.IfStmt:
+			elseCovered = endsCovered(c, []ast.Stmt{e})
+		}
+		return endsCovered(c, s.Body.List) && elseCovered
+	case *ast.BlockStmt:
+		return endsCovered(c, s.List)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if c.isBarrierCall(call) {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+	case *ast.ForStmt:
+		return s.Cond == nil && s.Post == nil && s.Init == nil // for{}: never falls through
+	default:
+		return c.containsBarrier(last)
+	}
+}

@@ -1,0 +1,124 @@
+// Package lint implements reprolint, the project's suite of static
+// analyzers. The analyzers mechanically enforce the concurrency and
+// hot-path conventions the scheduler's correctness and paper-faithful
+// performance rest on — conventions that used to live only in comments and
+// reviewers' heads:
+//
+//   - atomicmix: a struct field accessed through sync/atomic anywhere in a
+//     package must not also be read or written with plain loads/stores,
+//     unless the plain site carries a //repro:ownerstore directive (the
+//     documented owner-mirror / pre-publication-init conventions become
+//     checkable instead of tribal).
+//   - padcheck: types and shard-array fields annotated //repro:padded must
+//     have a go/types.Sizes-computed size that is a multiple of the cache
+//     line (64 bytes), so "one shard per line" cannot silently rot when a
+//     field is added.
+//   - noalloc: functions annotated //repro:noalloc reject AST-level
+//     allocating constructs (closures, make/new, escaping composite
+//     literals, interface conversions, append, string concatenation, map
+//     writes), with a per-site //repro:allow escape hatch carrying a
+//     justification.
+//   - seqlock: writes to stamp fields annotated //repro:seqlock must form
+//     odd-before/even-after brackets on every path — the discipline the
+//     in-flight quiescence scan, the stats histogram snapshot and the trace
+//     ring snapshot all prove their consistency from.
+//   - barrier: team collectives annotated //repro:barrier must reach the
+//     team barrier (ctx.Barrier() or a call to another annotated
+//     collective) on every return path, except the documented team-size-1
+//     sequential-oracle early returns.
+//
+// Everything is built on the standard library alone (go/parser, go/ast,
+// go/types with the source importer); see README.md for the directive
+// vocabulary and for what each analyzer deliberately does not prove.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{AtomicMix, PadCheck, NoAlloc, Seqlock, Barrier}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer run over one package: the type-checked
+// package, the module-wide directive index, and the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Index    *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a site-level directive of the given kind covers
+// pos (same line, or a standalone directive comment directly above).
+func (p *Pass) Allowed(kind string, pos token.Pos) bool {
+	return p.Index.SiteAllowed(kind, p.Pkg.Fset.Position(pos))
+}
+
+// Run applies the analyzers to the packages under one shared directive
+// index and returns the findings sorted by position. Packages must share
+// the index's FileSet (load them through one Loader).
+func Run(analyzers []*Analyzer, pkgs []*Package, ix *Index) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Index: ix, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc rejects AST-level allocating constructs inside functions
+// annotated //repro:noalloc: closure creation, make/new, append, taking
+// the address of a composite literal, string concatenation, map writes,
+// string↔byte/rune-slice conversions, and implicit or explicit
+// interface conversions of non-pointer-shaped values. A site that is
+// deliberately allocating (a cold refill path, a capacity-bounded append)
+// carries //repro:allow with a one-line justification.
+//
+// The check is deliberately shallow: it looks at this function's syntax
+// only and does not follow calls, prove escape behavior, or model the
+// compiler's optimizations (a non-escaping make may well be stack
+// allocated, and a call to a pretty-printer obviously is not). It is the
+// fast first line; the compiler-backed scripts/escapecheck and the
+// AllocsPerRun regression tests are the ground truth it feeds.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//repro:noalloc functions must not contain AST-level allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Index.DeclHas(fd.Name.Pos(), KindNoAlloc) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var sig *types.Signature
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+
+	flag := func(pos token.Pos, format string, args ...any) {
+		if !pass.Allowed(KindAllow, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			flag(x.Pos(), "closure creation allocates in //repro:noalloc function %s", fd.Name.Name)
+			return false // one finding per closure; its body is the closure's problem
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, fd, flag, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) && info.Types[x].Value == nil {
+				flag(x.Pos(), "string concatenation allocates in //repro:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapExpr(info, idx.X) {
+					flag(lhs.Pos(), "map write may allocate in //repro:noalloc function %s", fd.Name.Name)
+				}
+			}
+			if x.Tok == token.ADD_ASSIGN && isStringExpr(info, x.Lhs[0]) {
+				flag(x.Pos(), "string concatenation allocates in //repro:noalloc function %s", fd.Name.Name)
+			}
+			if x.Tok == token.ASSIGN {
+				for i, lhs := range x.Lhs {
+					if len(x.Rhs) != len(x.Lhs) {
+						break // tuple assignment from a call: conversion handled at the call
+					}
+					checkIfaceConv(pass, fd, flag, typeOf(info, lhs), x.Rhs[i])
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					flag(x.Pos(), "address of composite literal escapes (allocates) in //repro:noalloc function %s", fd.Name.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(x.Results) {
+				for i, res := range x.Results {
+					checkIfaceConv(pass, fd, flag, sig.Results().At(i).Type(), res)
+				}
+			}
+		case *ast.GoStmt:
+			flag(x.Pos(), "go statement allocates a goroutine in //repro:noalloc function %s", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall handles the call-shaped findings: allocating builtins,
+// allocating conversions, and implicit interface conversions of arguments.
+func checkNoAllocCall(pass *Pass, fd *ast.FuncDecl, flag func(token.Pos, string, ...any), call *ast.CallExpr) {
+	info := pass.Pkg.Info
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				flag(call.Pos(), "%s allocates in //repro:noalloc function %s", b.Name(), fd.Name.Name)
+			case "append":
+				flag(call.Pos(), "append may allocate in //repro:noalloc function %s", fd.Name.Name)
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst, src := tv.Type, typeOf(info, call.Args[0])
+		if src == nil {
+			return
+		}
+		if isStringByteConv(dst, src) {
+			flag(call.Pos(), "string/slice conversion allocates in //repro:noalloc function %s", fd.Name.Name)
+			return
+		}
+		checkIfaceConv(pass, fd, flag, dst, call.Args[0])
+		return
+	}
+
+	// Implicit interface conversions at the arguments of an ordinary call.
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return // f(xs...) passes a slice through unchanged
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkIfaceConv(pass, fd, flag, pt, arg)
+	}
+}
+
+// checkIfaceConv flags dst being an interface type while expr has a
+// concrete type whose conversion heap-allocates (anything that is not
+// pointer-shaped: pointers, channels, maps, funcs and unsafe pointers fit
+// an interface word directly).
+func checkIfaceConv(pass *Pass, fd *ast.FuncDecl, flag func(token.Pos, string, ...any), dst types.Type, expr ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	src := typeOf(pass.Pkg.Info, expr)
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if isPointerShaped(src) {
+		return
+	}
+	flag(expr.Pos(), "conversion of %s to interface %s allocates in //repro:noalloc function %s",
+		types.TypeString(src, types.RelativeTo(pass.Pkg.Types)), types.TypeString(dst, types.RelativeTo(pass.Pkg.Types)), fd.Name.Name)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isStringByteConv reports a conversion between string and []byte/[]rune,
+// which copies (allocates) in either direction.
+func isStringByteConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t fit an interface's data word
+// without boxing.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+// Package atomicmix exercises the atomicmix analyzer: mixed plain/atomic
+// access to the same field fires unless the plain site carries
+// //repro:ownerstore.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	n     int64 // accessed via atomic.AddInt64: plain access needs ownerstore
+	gauge atomic.Int64
+	slots []int64
+	plain int64 // never atomically accessed: plain access is fine
+}
+
+func atomicUse(c *counters) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreInt64(&c.slots[0], 2)
+}
+
+func plainRead(c *counters) int64 {
+	return c.n // want `field n is accessed via sync/atomic`
+}
+
+func plainElemWrite(c *counters) {
+	c.slots[1] = 3 // want `field slots is accessed via sync/atomic`
+}
+
+func ownerStore(c *counters) {
+	c.n = 0 //repro:ownerstore owner-mirror store, justified for the test
+}
+
+func plainField(c *counters) int64 {
+	return c.plain
+}
+
+func copyTyped(c *counters) atomic.Int64 {
+	return c.gauge // want `atomic-typed field gauge used as a plain value`
+}
+
+func methodUse(c *counters) int64 {
+	return c.gauge.Load()
+}
+
+func addrUse(c *counters) *atomic.Int64 {
+	return &c.gauge
+}
+
+func initLiteral() *counters {
+	return &counters{n: 1} // want `plain initialization needs a //repro:ownerstore`
+}
+
+func initAllowed() *counters {
+	//repro:ownerstore init before publish: no reader exists yet
+	return &counters{n: 2}
+}

@@ -1,0 +1,70 @@
+// Package barrier exercises the barrier analyzer: //repro:barrier
+// collectives must reach the team barrier on every return path, modulo the
+// team-size-1 sequential-oracle guard and //repro:allow waivers.
+package barrier
+
+type ctx struct{ w, lid int }
+
+func (c *ctx) TeamSize() int { return c.w }
+func (c *ctx) LocalID() int  { return c.lid }
+func (c *ctx) Barrier()      {}
+
+//repro:barrier
+func good(c *ctx, data []int) int {
+	w := c.TeamSize()
+	if w == 1 {
+		return len(data) // sequential oracle: the member is the whole team
+	}
+	total := len(data) * w
+	c.Barrier()
+	return total
+}
+
+//repro:barrier
+func earlyReturn(c *ctx, data []int) int {
+	if len(data) == 0 {
+		return 0 // want `does not reach the team barrier`
+	}
+	c.Barrier()
+	return len(data)
+}
+
+//repro:barrier
+func delegated(c *ctx, data []int) int {
+	return good(c, data) // the annotated callee carries the obligation
+}
+
+//repro:barrier
+func assignedThenReturned(c *ctx, data []int) int {
+	n := 0
+	n = good(c, data)
+	return n
+}
+
+//repro:barrier
+func waived(c *ctx, n int) int {
+	if n < 0 {
+		return -1 //repro:allow error path: no team is ever formed on invalid input
+	}
+	c.Barrier()
+	return n
+}
+
+//repro:barrier
+func noResults(c *ctx, data []int) {
+	if c.TeamSize() == 1 {
+		return
+	}
+	for range data {
+	}
+	c.Barrier()
+}
+
+//repro:barrier
+func fallsOff(c *ctx, data []int) {
+	if c.TeamSize() == 1 {
+		return
+	}
+	for range data {
+	}
+} // want `can fall off the end without reaching the team barrier`

@@ -1,0 +1,94 @@
+// Package noalloc exercises the noalloc analyzer: AST-level allocating
+// constructs inside //repro:noalloc functions fire unless the site carries
+// //repro:allow.
+package noalloc
+
+type point struct{ x, y int }
+
+var sink any
+
+func sinkAny(v any) { sink = v }
+
+//repro:noalloc
+func builtins(n int) {
+	s := make([]int, n) // want `make allocates`
+	_ = s
+	p := new(int) // want `new allocates`
+	_ = p
+	var xs []int
+	xs = append(xs, n) // want `append may allocate`
+	_ = xs
+}
+
+//repro:noalloc
+func closure(n int) {
+	f := func() int { return n } // want `closure creation allocates`
+	_ = f()
+}
+
+//repro:noalloc
+func spawned(ch chan int) {
+	go drain(ch) // want `go statement allocates`
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+//repro:noalloc
+func conversions(s string, bs []byte) {
+	_ = []byte(s)  // want `string/slice conversion allocates`
+	_ = string(bs) // want `string/slice conversion allocates`
+}
+
+//repro:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:noalloc
+func mapWrite(m map[int]int, v int) {
+	m[v] = v // want `map write may allocate`
+}
+
+//repro:noalloc
+func litAddr() *point {
+	return &point{1, 2} // want `address of composite literal`
+}
+
+//repro:noalloc
+func ifaceAssign(v int) {
+	sink = v // want `conversion of int to interface any allocates`
+}
+
+//repro:noalloc
+func ifaceReturn(v int) any {
+	return v // want `conversion of int to interface any allocates`
+}
+
+//repro:noalloc
+func ifaceArg(v int) {
+	sinkAny(v) // want `conversion of int to interface any allocates`
+}
+
+//repro:noalloc
+func pointerShaped(p *point, ch chan int) {
+	sinkAny(p) // pointer-shaped: fits the interface word, no boxing
+	sinkAny(ch)
+	sink = nil
+}
+
+//repro:noalloc
+func allowed(xs []int, n int) []int {
+	return append(xs, n) //repro:allow capacity-bounded by the caller's contract
+}
+
+//repro:noalloc
+func clean(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

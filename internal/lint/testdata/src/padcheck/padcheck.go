@@ -1,0 +1,50 @@
+// Package padcheck exercises the padcheck analyzer: //repro:padded types
+// and shard-array fields must be sized to 64-byte multiples (sizes below
+// assume a 64-bit target, which the repo requires anyway).
+package padcheck
+
+import "sync/atomic"
+
+// goodShard is exactly one cache line.
+//
+//repro:padded
+type goodShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// badShard is 24 bytes: adjacent elements share lines.
+//
+//repro:padded
+type badShard struct { // want `size 24 bytes, not a multiple`
+	n atomic.Int64
+	_ [16]byte
+}
+
+type plainElem struct {
+	a, b, c int64
+}
+
+type owner struct {
+	//repro:padded
+	good []goodShard
+	//repro:padded
+	bad []plainElem // want `size 24 bytes, not a multiple`
+	//repro:padded
+	arr [4]goodShard
+	//repro:padded
+	ptr *goodShard
+}
+
+// genSlot cannot be sized without a concrete type argument.
+//
+//repro:padded
+type genSlot[T any] struct { // want `cannot verify generic type`
+	v T
+	_ [64]byte
+}
+
+var (
+	_ = owner{}
+	_ = genSlot[int]{}
+)

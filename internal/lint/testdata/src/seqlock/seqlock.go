@@ -1,0 +1,63 @@
+// Package seqlock exercises the seqlock analyzer: writes to //repro:seqlock
+// stamp fields must come in balanced odd/even bracket pairs within one
+// block, with no escape while a bracket is open.
+package seqlock
+
+import "sync/atomic"
+
+type shard struct {
+	//repro:seqlock odd while an update is in flight
+	stamp atomic.Uint64
+	count atomic.Int64
+}
+
+func balanced(h *shard, d int64) {
+	h.stamp.Add(1)
+	h.count.Add(d)
+	h.stamp.Add(1)
+}
+
+func balancedLoop(h *shard, d int64) {
+	h.stamp.Add(1)
+	for i := int64(0); i < d; i++ {
+		h.count.Add(1) // loop-local work inside the bracket is fine
+	}
+	h.stamp.Add(1)
+}
+
+func readers(h *shard) uint64 {
+	return h.stamp.Load() // reads are unconstrained
+}
+
+func earlyReturn(h *shard, d int64) {
+	h.stamp.Add(1)
+	if d == 0 {
+		return // want `return inside an open seqlock stamp bracket`
+	}
+	h.count.Add(d)
+	h.stamp.Add(1)
+}
+
+func unclosed(h *shard) {
+	h.stamp.Add(1) // want `still open at the end of its block`
+}
+
+func branchBalanced(h *shard, d int64) {
+	if d > 0 {
+		h.stamp.Add(1)
+		h.count.Add(d)
+		h.stamp.Add(1)
+	}
+}
+
+func nestedWhileOpen(h *shard, d int64) {
+	h.stamp.Add(1)
+	if d > 0 {
+		h.stamp.Add(1) // want `nested inside another statement while a bracket is open`
+	}
+	h.stamp.Add(1)
+}
+
+func exprPosition(h *shard) {
+	_ = h.stamp.Swap(1) // want `non-statement position`
+}

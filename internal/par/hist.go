@@ -36,6 +36,8 @@ func (h *Hist) NumBuckets() int { return h.nb }
 // Callers that scatter from the count matrix must walk the same member
 // chunks: element i was counted by the member whose Chunk(lid, w, n) range
 // contains i.
+//
+//repro:barrier every member must reach the trailing barrier before Totals/Row are readable
 func (h *Hist) Histogram(ctx *core.Ctx, n int, bucketOf func(i int) int) {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {

@@ -25,6 +25,8 @@ func NewPacker[T any](np int) *Packer[T] {
 // dst must not alias src and must have room for every kept element; keep
 // must be pure (it is evaluated twice per index). A team of size 1 runs
 // the sequential oracle.
+//
+//repro:barrier every member must reach the trailing barrier before dst and the state are reusable
 func (p *Packer[T]) Pack(ctx *core.Ctx, src, dst []T, keep func(i int, v T) bool) int {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {

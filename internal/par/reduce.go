@@ -27,6 +27,8 @@ func NewReducer[A any](np int, comb func(A, A) A) *Reducer[A] {
 // the same balanced grouping, so non-commutative combines are
 // deterministic). For a team of size 1 the partial already is the total
 // (the sequential oracle path).
+//
+//repro:barrier every member must reach the trailing barrier before the state is reusable
 func (r *Reducer[A]) Reduce(ctx *core.Ctx, partial A) A {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {
@@ -121,6 +123,8 @@ func NewMinMaxer[T cmp.Ordered](np int) *MinMaxer[T] {
 // member of the executing team; each member scans one static chunk. For
 // empty data both results are the zero value. A team of size 1 runs the
 // sequential oracle.
+//
+//repro:barrier delegates its barrier obligation to the annotated Reduce
 func (m *MinMaxer[T]) MinMax(ctx *core.Ctx, data []T) (T, T) {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {

@@ -24,16 +24,21 @@ func NewScanner[A any](np int, identity A, comb func(A, A) A) *Scanner[A] {
 // the block sums are scanned exclusively across the team barrier, and a
 // fixup pass rewrites each chunk seeded with its member's offset. A team
 // of size 1 runs the sequential oracle.
+//
+//repro:barrier delegates its barrier obligation to the annotated scan
 func (s *Scanner[A]) Inclusive(ctx *core.Ctx, data []A) A {
 	return s.scan(ctx, data, false)
 }
 
 // Exclusive is Inclusive's exclusive counterpart: data[i] becomes
 // comb(data[0] … data[i−1]) (identity for i = 0). Returns the total.
+//
+//repro:barrier delegates its barrier obligation to the annotated scan
 func (s *Scanner[A]) Exclusive(ctx *core.Ctx, data []A) A {
 	return s.scan(ctx, data, true)
 }
 
+//repro:barrier every member must reach the trailing barrier before the state is reusable
 func (s *Scanner[A]) scan(ctx *core.Ctx, data []A, exclusive bool) A {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {

@@ -47,6 +47,8 @@ func (a *Aggregator[T, A]) NumBuckets() int { return a.nb }
 // per-bucket totals to every member; the slice stays valid (and is
 // overwritten) across calls. key must be pure. A team of size 1 runs the
 // sequential oracle.
+//
+//repro:barrier every member must reach the trailing barrier before the totals are readable
 func (a *Aggregator[T, A]) Aggregate(ctx *core.Ctx, src []T, key func(T) int) []A {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if w == 1 {

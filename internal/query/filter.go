@@ -22,6 +22,8 @@ func NewFilterer[T any](np int) *Filterer[T] {
 // returned to every member. dst must not alias src and must have room for
 // every survivor; pred must be pure (it is evaluated twice per element). A
 // team of size 1 runs the sequential oracle.
+//
+//repro:barrier delegates its barrier obligation to the annotated par Pack
 func (f *Filterer[T]) Filter(ctx *core.Ctx, src, dst []T, pred func(T) bool) int {
 	return f.p.Pack(ctx, src, dst, func(_ int, v T) bool { return pred(v) })
 }

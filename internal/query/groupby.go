@@ -52,6 +52,8 @@ func (g *Grouper[T]) NumBuckets() int { return g.nb }
 // totals are scanned exclusively for the bucket starts, and each member
 // scatters its static chunk through its private cursors
 // (par.Hist.Cursors), write-conflict-free by construction.
+//
+//repro:barrier every member must reach the trailing barrier before grouped and starts are readable
 func (g *Grouper[T]) GroupBy(ctx *core.Ctx, src, grouped []T, key func(T) int) []int {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	n := len(src)

@@ -79,6 +79,8 @@ func NewJoiner[T Ordered](np int) *Joiner[T] {
 // at its exclusive prefix offset. That is the Pack pattern lifted from
 // elements to key runs: count, scan, conflict-free scatter, stable by
 // construction. A team of size 1 runs the sequential oracle.
+//
+//repro:barrier every member must reach the trailing barrier before out and the count are readable
 func (jn *Joiner[T]) MergeJoin(ctx *core.Ctx, a, b []T, out []JoinRun[T]) int {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	checkTeam(w, len(jn.counts))

@@ -36,6 +36,8 @@ func NewTopKer[T Ordered](np, k int) *TopKer[T] {
 // across the final barrier. Ties are resolved by value only (elements are
 // indistinguishable beyond their ordering), so the result equals the
 // sequential oracle exactly.
+//
+//repro:barrier every member must reach the trailing barrier before dst and the count are readable
 func (t *TopKer[T]) TopK(ctx *core.Ctx, src, dst []T, k int) int {
 	w, lid := ctx.TeamSize(), ctx.LocalID()
 	if k > t.k {

@@ -48,8 +48,11 @@ const (
 // histShard is one writer's slice of the histogram. The trailing padding
 // rounds the struct up to a cache-line multiple so adjacent shards never
 // share a line; within a shard, all lines are written by the shard's owner.
+//
+//repro:padded shards sit in one array; stride must be a cache-line multiple
 type histShard struct {
-	stamp atomic.Uint64 // update generation: odd while an Observe is in flight
+	//repro:seqlock update generation: odd while an Observe is in flight
+	stamp atomic.Uint64
 	sum   atomic.Uint64 // Float64bits of the shard's value sum
 	count [HistBuckets]atomic.Uint64
 	_     [16]byte
@@ -87,6 +90,8 @@ func HistogramBounds() []float64 {
 // the index falls out of v's floating-point exponent; the mantissa check
 // keeps exact powers of two in the bucket they bound (le semantics).
 // Non-positive and NaN values land in the first bucket.
+//
+//repro:noalloc pure bit arithmetic on the Observe path
 func bucketOf(v float64) int {
 	if !(v > 0) {
 		return 0
@@ -113,11 +118,15 @@ func bucketOf(v float64) int {
 // allocation-free. Callers should dedicate one shard per concurrent writer
 // (the index is reduced modulo the shard count); see the type comment for
 // the contract. NaN and negative values are clamped to zero.
+//
+//repro:noalloc documented allocation-free; called per scheduler event
 func (h *Histogram) Observe(shard int, v float64) { h.ObserveN(shard, v, 1) }
 
 // ObserveN records n observations of the same value v on the given shard —
 // the batched form of Observe (a SortMany batch attributes its end-to-end
 // latency to every request it carried).
+//
+//repro:noalloc documented allocation-free; called per scheduler event
 func (h *Histogram) ObserveN(shard int, v float64, n uint64) {
 	if n == 0 {
 		return

@@ -89,6 +89,7 @@ const pad = 8 // int64 words per cache line (64 B)
 
 // NewReduceInt64 returns a reduction with n participant slots.
 func NewReduceInt64(n int) *ReduceInt64 {
+	//repro:ownerstore init before publish: no participant holds the value until the constructor returns
 	return &ReduceInt64{slots: make([]int64, n*pad)}
 }
 

@@ -24,6 +24,7 @@ const minRingEvents = 8
 // payload knows it copied a consistent event — the seqlock argument the
 // core scheduler's quiescence scan established.
 type slot struct {
+	//repro:seqlock holds 2·seq+1 while torn, 2·seq+2 once stable
 	stamp atomic.Uint64
 	ts    atomic.Int64
 	// meta packs kind (bits 56–63), the related worker id (bits 40–55) and
@@ -37,6 +38,8 @@ type slot struct {
 // matching id, or the admitMu holder for the admission ring) writes pos and
 // slots; snapshot readers only load. The struct is padded to a cache line
 // so adjacent rings' owner-written headers never share one.
+//
+//repro:padded rings sit in one array; the header stride must be a cache-line multiple
 type ring struct {
 	pos   atomic.Uint64 // next sequence number; slots[pos&mask] is written next
 	mask  uint64
@@ -116,6 +119,8 @@ func (t *Tracer) Enabled() bool { return t.on.Load() }
 // owner may call it; the write path is allocation-free — a clock read and
 // six stores to an owner-exclusive line. On overflow the oldest event is
 // overwritten (drop-oldest; Snapshot reports the count).
+//
+//repro:noalloc documented allocation-free; fires on every traced scheduler event
 func (t *Tracer) Record(ri int, k Kind, other int, x uint32, arg uint64) uint64 {
 	rsp := t.rings.Load()
 	if rsp == nil {

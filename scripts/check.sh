@@ -6,6 +6,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# RACE_PKGS and VET_FLAGS live in checkdefs.sh, shared with the Makefile.
+. ./scripts/checkdefs.sh
+
 echo "check: gofmt"
 unformatted=$(gofmt -l .)
 if [[ -n "${unformatted}" ]]; then
@@ -16,25 +19,21 @@ fi
 echo "check: go build ./..."
 go build ./...
 
-echo "check: go vet ./..."
-go vet ./...
+echo "check: go vet ${VET_FLAGS} ./..."
+go vet ${VET_FLAGS} ./...
+
+echo "check: reprolint (directive-driven invariant analyzers + manifest pin)"
+go run ./cmd/reprolint ./...
+
+echo "check: escapecheck (compiler escape analysis over //repro:noalloc functions)"
+go run ./scripts/escapecheck
 
 echo "check: go test ./..."
 go test ./...
 
-# The race list covers the admission-control and quiescence tests (the
-# whitebox/flood admission tests and spawn-vs-shutdown races in
-# ./internal/core, the Runtime-level bounded-flood and SortMany tests in
-# the root package) plus the hot-path recycling machinery: the node/ctx
-# free lists and the sharded in-flight scan in ./internal/core, the
-# owner-pop slot clearing in ./internal/deque, the pooled spawn
-# wrappers of the three sorting packages, the team-collective analytics
-# operators in ./internal/query (barrier-separated phases over shared
-# state), the seqlock-stamped histogram/registry read paths in
-# ./internal/stats, and the seqlock-stamped event rings and sampling
-# profiler in ./internal/trace.
-echo "check: go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace"
-go test -race . ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace
+# The race list and its rationale live in scripts/checkdefs.sh.
+echo "check: go test -race ${RACE_PKGS}"
+go test -race ${RACE_PKGS}
 
 echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \

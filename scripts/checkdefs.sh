@@ -1,0 +1,23 @@
+# Shared verification-gate definitions. Sourced by scripts/check.sh and
+# queried by the Makefile (vet/race targets), so the two entry points cannot
+# drift. This file must stay `sh`-sourceable: plain VAR="..." assignments only.
+
+# Packages run under the race detector. The list covers the
+# admission-control and quiescence tests (the whitebox/flood admission tests
+# and spawn-vs-shutdown races in ./internal/core, the Runtime-level
+# bounded-flood and SortMany tests in the root package) plus the hot-path
+# recycling machinery: the node/ctx free lists and the sharded in-flight scan
+# in ./internal/core, the owner-pop slot clearing in ./internal/deque, the
+# pooled spawn wrappers of the three sorting packages, the team-collective
+# analytics operators in ./internal/query (barrier-separated phases over
+# shared state), the seqlock-stamped histogram/registry read paths in
+# ./internal/stats, and the seqlock-stamped event rings and sampling profiler
+# in ./internal/trace.
+RACE_PKGS=". ./internal/core ./internal/deque ./internal/dist ./internal/dist/distpar ./internal/msort ./internal/par ./internal/qsort ./internal/query ./internal/ssort ./internal/stats ./internal/trace"
+
+# Explicit vet configuration: -tests=true keeps _test.go files in scope (the
+# race-condition regression tests lean on vet's copylocks/atomic checks as
+# much as the production code does). Listing no analyzer flags keeps the full
+# default analyzer suite enabled — naming individual analyzers would silently
+# disable the rest.
+VET_FLAGS="-tests=true"

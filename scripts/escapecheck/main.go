@@ -1,0 +1,228 @@
+// Command escapecheck complements the reprolint noalloc analyzer with the
+// compiler's own escape analysis. reprolint rejects allocating constructs at
+// the AST level; escapecheck catches what only the optimizer can see — a
+// value the compiler decides to move to the heap inside a //repro:noalloc
+// function (e.g. a variable captured by a call that defeats inlining).
+//
+// It runs `go build -gcflags=-m` over every package that contains a
+// //repro:noalloc function, keeps the "escapes to heap" / "moved to heap"
+// diagnostics whose position falls inside such a function, and fails unless
+// each finding is listed in scripts/escape-allow.txt. Allowlist entries are
+// keyed by file and function name, not line number, so they survive
+// unrelated edits:
+//
+//	internal/core/nodepool.go:(*worker).getCtx: new(Ctx) escapes to heap
+//
+// Exit status: 0 clean, 1 findings outside the allowlist, 2 operational
+// error.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+type noallocRange struct {
+	file      string // module-relative path
+	startLine int
+	endLine   int
+	fn        string // rendered declaration name, e.g. (*worker).getCtx
+	pkgDir    string // module-relative package directory
+}
+
+var escapeRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+ escapes to heap|moved to heap: .+)$`)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	allowPath := filepath.Join(root, "scripts", "escape-allow.txt")
+
+	ranges, err := noallocRanges(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(ranges) == 0 {
+		fmt.Println("escapecheck: no //repro:noalloc functions found")
+		return
+	}
+
+	pkgDirs := map[string]bool{}
+	for _, r := range ranges {
+		pkgDirs[r.pkgDir] = true
+	}
+	var buildArgs []string
+	for d := range pkgDirs {
+		buildArgs = append(buildArgs, "./"+filepath.ToSlash(d))
+	}
+	sort.Strings(buildArgs)
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, buildArgs...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fatalf("go build -gcflags=-m failed:\n%s", out)
+	}
+
+	allow, err := readAllowlist(allowPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var findings []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		msg := m[4]
+		for _, r := range ranges {
+			if r.file != file || lineNo < r.startLine || lineNo > r.endLine {
+				continue
+			}
+			key := fmt.Sprintf("%s:%s: %s", r.file, r.fn, msg)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			if allow[key] {
+				allow[key] = false // consumed; leftovers are reported as stale
+				break
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%s:%s: %s (heap escape in //repro:noalloc function %s; fix it or add to %s)",
+					file, m[2], m[3], msg, r.fn, "scripts/escape-allow.txt"))
+			break
+		}
+	}
+
+	for key, unused := range allow {
+		if unused {
+			fmt.Printf("escapecheck: note: stale allowlist entry (no longer reported): %s\n", key)
+		}
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: %d noalloc functions across %d packages: clean\n", len(ranges), len(pkgDirs))
+}
+
+// noallocRanges loads the module with the reprolint loader and returns the
+// line span of every //repro:noalloc function.
+func noallocRanges(root string) ([]noallocRange, error) {
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	ix := lint.NewIndex()
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %v", p, err)
+		}
+		ix.AddPackage(pkg)
+		pkgs = append(pkgs, pkg)
+	}
+	if errs := ix.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("directive errors (run reprolint): %s", errs[0])
+	}
+
+	var ranges []noallocRange
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !ix.DeclHas(fd.Name.Pos(), lint.KindNoAlloc) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.Body.Rbrace)
+				file, err := filepath.Rel(root, start.Filename)
+				if err != nil {
+					return nil, err
+				}
+				ranges = append(ranges, noallocRange{
+					file:      filepath.ToSlash(file),
+					startLine: start.Line,
+					endLine:   end.Line,
+					fn:        lint.FuncDeclName(fd),
+					pkgDir:    filepath.ToSlash(rel),
+				})
+			}
+		}
+	}
+	return ranges, nil
+}
+
+func readAllowlist(path string) (map[string]bool, error) {
+	allow := map[string]bool{}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return allow, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allow[line] = true
+	}
+	return allow, sc.Err()
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "escapecheck: "+format+"\n", args...)
+	os.Exit(2)
+}
