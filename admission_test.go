@@ -1,9 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"errors"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -111,5 +114,71 @@ func TestGroupTrySpawnSaturation(t *testing.T) {
 	s.Shutdown()
 	if err := g.TrySpawn(repro.Solo(func(*repro.Ctx) {})); !errors.Is(err, repro.ErrShutdown) {
 		t.Fatalf("TrySpawn after Shutdown: err = %v, want ErrShutdown", err)
+	}
+}
+
+// TestSortManyCtx exercises the cancelable batch entry point end to end:
+// a background-context batch behaves exactly like SortMany (nil error, data
+// sorted), a pre-canceled context refuses with ErrCanceled before any work,
+// and a batch abandoned mid-flight returns its typed cause with the
+// scheduler fully drained — the public face of revocation at take time.
+func TestSortManyCtx(t *testing.T) {
+	rt := repro.NewRuntime[int32](repro.Options{P: 4, Seed: 11})
+	defer rt.Close()
+
+	mk := func(n int, seed uint64) []int32 {
+		return append([]int32(nil), repro.GenerateInput(repro.Random, n, seed)...)
+	}
+
+	// Background context: identical to SortMany.
+	data := mk(1<<14, 1)
+	err := rt.SortManyCtx(context.Background(),
+		[]repro.SortRequest[int32]{{Data: data, Algo: repro.AlgoMixedMode}},
+		repro.BatchOptions{})
+	if err != nil {
+		t.Fatalf("background SortManyCtx = %v", err)
+	}
+	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+		t.Fatal("background batch left data unsorted")
+	}
+
+	// Pre-canceled context: typed refusal, nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = rt.SortManyCtx(ctx,
+		[]repro.SortRequest[int32]{{Data: mk(1<<12, 2), Algo: repro.AlgoForkJoin}},
+		repro.BatchOptions{})
+	if !errors.Is(err, repro.ErrCanceled) {
+		t.Fatalf("pre-canceled SortManyCtx = %v, want ErrCanceled", err)
+	}
+	// Empty batch under a dead context still reports the typed cause.
+	if err := rt.SortManyCtx(ctx, nil, repro.BatchOptions{}); !errors.Is(err, repro.ErrCanceled) {
+		t.Fatalf("empty canceled SortManyCtx = %v, want ErrCanceled", err)
+	}
+
+	// A deadline tight enough to abandon a large batch mid-flight: the call
+	// must return ErrDeadlineExceeded and leave the scheduler drained. (On a
+	// fast machine the batch may occasionally beat the clock; retry with
+	// more work rather than flaking.)
+	for attempt, n := 0, 1<<20; ; attempt, n = attempt+1, n*2 {
+		reqs := make([]repro.SortRequest[int32], 8)
+		for i := range reqs {
+			reqs[i] = repro.SortRequest[int32]{Data: mk(n, uint64(3+i)), Algo: repro.AlgoMergeMixedMode}
+		}
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		err := rt.SortManyCtx(dctx, reqs, repro.BatchOptions{})
+		dcancel()
+		if errors.Is(err, repro.ErrDeadlineExceeded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("abandoned SortManyCtx = %v, want ErrDeadlineExceeded", err)
+		}
+		if attempt == 4 {
+			t.Skip("machine sorts 8x16M elements in <2ms; cannot provoke abandonment")
+		}
+	}
+	if p := rt.Scheduler().Pending(); p != 0 {
+		t.Fatalf("pending = %d after abandoned batch", p)
 	}
 }

@@ -8,15 +8,18 @@
 //
 //	stress -p 8 -rounds 200 -tasks 500 -seed 1
 //	stress -p 6 -randomized          # non-power-of-two p + Refinement 4
+//	stress -p 8 -chaos               # fault injection + cancel storm
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/topo"
@@ -30,14 +33,38 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "prng seed")
 		randomized = flag.Bool("randomized", false, "randomized stealing (Refinement 4)")
 		noReuse    = flag.Bool("noreuse", false, "disband teams after every task")
+		chaosMode  = flag.Bool("chaos", false, "fault injection: stalls, delays, bounded admission, cancel storm")
 		verbose    = flag.Bool("v", false, "per-round progress")
 	)
 	flag.Parse()
 
-	s := core.New(core.Options{
+	opts := core.Options{
 		P: *p, Randomized: *randomized, DisableTeamReuse: *noReuse, Seed: *seed,
-	})
+	}
+	var inj *chaos.Injector
+	if *chaosMode {
+		inj = chaos.New(chaos.Options{
+			Seed:            *seed,
+			StallEvery:      256,
+			StallDur:        50 * time.Microsecond,
+			DelayTakeEvery:  32,
+			AdmitDelayEvery: 32,
+			DelayDur:        20 * time.Microsecond,
+			CancelEvery:     2, // MaybeCancel is rolled once per round per group
+		})
+		opts.Fault = inj.Fault
+		// Tight admission bounds force saturation so the cancel storm finds
+		// admitted-but-not-started work to revoke.
+		opts.MaxInject = 2 * *p
+		opts.MaxPendingPerGroup = *p
+	}
+	s := core.New(opts)
 	defer s.Shutdown()
+
+	if *chaosMode {
+		chaosStress(s, inj, *rounds, *tasks, *seed, *verbose)
+		return
+	}
 	rng := dist.NewRNG(*seed)
 	maxTeam := s.MaxTeam()
 
@@ -98,4 +125,127 @@ func makeTask(r, depth, maxTeam int, execs, badLocal, want *atomic.Int64, rng *d
 			}
 		}
 	})
+}
+
+// chaosStress is the -chaos mode: each round floods several groups with
+// mixed-requirement tasks through the bounded, fault-injected scheduler
+// while the main goroutine storms cancels at them concurrently. The
+// invariants are the robustness tentpole's acceptance criteria, checked
+// every round:
+//
+//   - the scheduler quiesces (Pending() == 0) despite revoked work
+//   - groups that were never canceled executed every admitted member
+//   - canceled groups report the storm's cause from WaitErr, and their
+//     inflight reconciles to zero
+//   - globally, injected == taken + revoked once drained
+func chaosStress(s *core.Scheduler, inj *chaos.Injector, rounds, tasks int, seed uint64, verbose bool) {
+	const groupsPerRound = 4
+	maxTeam := s.MaxTeam()
+	errStorm := errors.New("stress: chaos storm")
+	start := time.Now()
+	var canceledTotal, completedTotal, revokedPrev int64
+
+	type gstate struct {
+		g     *core.Group
+		execs atomic.Int64
+		want  atomic.Int64
+		done  chan struct{}
+	}
+	for round := 0; round < rounds; round++ {
+		gs := make([]*gstate, groupsPerRound)
+		for gi := range gs {
+			st := &gstate{g: s.NewGroup(), done: make(chan struct{})}
+			gs[gi] = st
+			rng := dist.NewRNG(seed ^ uint64(round*groupsPerRound+gi))
+			go func() {
+				defer close(st.done)
+				for i := 0; i < tasks/groupsPerRound; i++ {
+					r := 1
+					if rng.Intn(4) == 0 {
+						r = 1 + rng.Intn(maxTeam)
+					}
+					st.want.Add(int64(r))
+					err := st.g.SpawnRetry(core.Func(r, func(ctx *core.Ctx) {
+						st.execs.Add(1)
+						spin(2 * time.Microsecond) // keep workers busy so the queue backs up
+						ctx.Barrier()
+					}))
+					if err != nil {
+						// Only cancellation (or shutdown) refuses a retried
+						// spawn; the task never ran, so take it back.
+						st.want.Add(-int64(r))
+						return
+					}
+				}
+			}()
+		}
+		// Storm cancels while the spawners are mid-flood, in several delayed
+		// passes: early cancels reject the groups' later spawns, late ones
+		// revoke nodes already parked in the backed-up inject queue.
+		for pass := 0; pass < 3; pass++ {
+			time.Sleep(200 * time.Microsecond)
+			for _, st := range gs {
+				inj.MaybeCancel(st.g, errStorm)
+			}
+		}
+		for _, st := range gs {
+			<-st.done
+			err := st.g.WaitErr()
+			switch {
+			case st.g.Canceled():
+				canceledTotal++
+				if !errors.Is(err, errStorm) {
+					fmt.Fprintf(os.Stderr, "round %d: canceled group WaitErr = %v, want storm cause\n", round, err)
+					os.Exit(1)
+				}
+			default:
+				completedTotal++
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "round %d: live group WaitErr = %v\n", round, err)
+					os.Exit(1)
+				}
+				if got, want := st.execs.Load(), st.want.Load(); got != want {
+					fmt.Fprintf(os.Stderr, "round %d: live group executions %d, want %d\n%s\n",
+						round, got, want, s.DumpState())
+					os.Exit(1)
+				}
+			}
+			if p := st.g.Pending(); p != 0 {
+				fmt.Fprintf(os.Stderr, "round %d: group pending = %d after WaitErr\n", round, p)
+				os.Exit(1)
+			}
+		}
+		s.Wait()
+		if p := s.Pending(); p != 0 {
+			fmt.Fprintf(os.Stderr, "round %d: scheduler pending = %d after drain\n%s\n", round, p, s.DumpState())
+			os.Exit(1)
+		}
+		if adm := s.Admission(); adm.Injected != adm.Taken+adm.Revoked {
+			fmt.Fprintf(os.Stderr, "round %d: admission does not reconcile: %s\n", round, adm)
+			os.Exit(1)
+		}
+		if verbose {
+			adm := s.Admission()
+			fmt.Printf("round %d ok: +%d revoked\n", round, adm.Revoked-revokedPrev)
+			revokedPrev = adm.Revoked
+		}
+	}
+	adm, ist := s.Admission(), inj.Stats()
+	fmt.Printf("OK (chaos): %d rounds in %v\n  groups: %d canceled / %d completed; %s\n"+
+		"  faults: stalls=%d take-delays=%d admit-delays=%d cancels=%d\n",
+		rounds, time.Since(start).Round(time.Millisecond),
+		canceledTotal, completedTotal, adm,
+		ist.Injected[core.FaultWorkerLoop], ist.Injected[core.FaultInjectTake],
+		ist.Injected[core.FaultAdmit], ist.Cancels)
+	if canceledTotal == 0 || adm.Revoked == 0 {
+		fmt.Fprintln(os.Stderr, "chaos storm never landed: no cancellations or revocations — weak run")
+		os.Exit(1)
+	}
+}
+
+// spin busy-waits for roughly d without yielding the worker, standing in
+// for a small CPU-bound task body.
+func spin(d time.Duration) {
+	for t0 := time.Now(); time.Since(t0) < d; {
+	}
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/qsort"
+	"repro/internal/stats"
+)
+
+// The abandon mix (-mix abandon) is the cancellation/graceful-degradation
+// scenario of the robustness work: even-indexed clients are latency-
+// sensitive interactive sorters issuing small mixed-mode sorts back to
+// back, odd-indexed clients are batch clients submitting large SortManyCtx
+// batches under a -abandon-after context deadline and giving up on them
+// mid-flight. The interesting numbers in the report are the interactive
+// per-label p99 (it must survive the batch flood — compare against a
+// -mix sort run with only the small size), the abandoned_requests count,
+// and the admission revoked/canceled counters showing where the abandoned
+// work went.
+
+// abandonClient runs one client of the abandon mix; the role is derived
+// from the client index so every point gets both populations (a lone client
+// is interactive).
+func abandonClient(cfg runConfig, rt *repro.Runtime[int32], rng *dist.RNG, c int,
+	deadline time.Time, res *clientResult, inflightNow, inflightPeak *atomic.Int64) {
+	if c%2 == 0 {
+		interactiveClient(cfg, rt, rng, deadline, res, inflightNow, inflightPeak)
+	} else {
+		batchAbandonClient(cfg, rt, rng, deadline, res, inflightNow, inflightPeak)
+	}
+}
+
+// smallestReq and largestReq pick the interactive and batch workloads from
+// the pre-generated pool: interactive clients sort the smallest cells,
+// batch clients the largest.
+func smallestReq(reqs []request) []request { return sizeExtreme(reqs, false) }
+func largestReq(reqs []request) []request  { return sizeExtreme(reqs, true) }
+
+func sizeExtreme(reqs []request, largest bool) []request {
+	ext := reqs[0].size
+	for _, r := range reqs {
+		if largest == (r.size > ext) {
+			ext = r.size
+		}
+	}
+	var out []request
+	for _, r := range reqs {
+		if r.size == ext {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// interactiveClient issues small mixed-mode sorts back to back; its latency
+// sample is the "interactive" label of the report.
+func interactiveClient(cfg runConfig, rt *repro.Runtime[int32], rng *dist.RNG,
+	deadline time.Time, res *clientResult, inflightNow, inflightPeak *atomic.Int64) {
+	s := &stats.Sample{}
+	res.perAlgo["interactive"] = s
+	pool := smallestReq(cfg.reqs)
+	buf := make([]int32, pool[0].size)
+	for time.Now().Before(deadline) {
+		req := pool[rng.Intn(len(pool))]
+		d := buf[:req.size]
+		copy(d, req.in)
+		bumpInflight(inflightNow, inflightPeak, 1)
+		t0 := time.Now()
+		rt.SortMixedMode(d, cfg.mmOpt)
+		el := time.Since(t0)
+		inflightNow.Add(-1)
+		res.overall.AddDuration(el)
+		s.AddDuration(el)
+		res.requests++
+		if !qsort.IsSorted(d) {
+			res.failures++
+		}
+	}
+}
+
+// batchAbandonClient submits large batches through SortManyCtx under the
+// -abandon-after deadline. Abandoned batches count as abandoned requests
+// (their data is garbage by contract, so nothing is verified); batches that
+// beat the deadline are verified like any sort request. Latency samples go
+// to the "batch" label either way — an abandoned batch's sample is the time
+// to *give up*, which is exactly the responsiveness the deadline buys.
+func batchAbandonClient(cfg runConfig, rt *repro.Runtime[int32], rng *dist.RNG,
+	deadline time.Time, res *clientResult, inflightNow, inflightPeak *atomic.Int64) {
+	s := &stats.Sample{}
+	res.perAlgo["batch"] = s
+	pool := largestReq(cfg.reqs)
+	n := cfg.batch
+	if n < 4 {
+		n = 4 // a batch worth abandoning, even when -batch was left at 1
+	}
+	bufs := make([][]int32, n)
+	for i := range bufs {
+		bufs[i] = make([]int32, pool[0].size)
+	}
+	picked := make([]request, n)
+	batch := make([]repro.SortRequest[int32], n)
+	batchOpt := repro.BatchOptions{MM: cfg.mmOpt, SS: cfg.ssOpt, MS: cfg.msOpt}
+	for time.Now().Before(deadline) {
+		for i := range batch {
+			req := pool[rng.Intn(len(pool))]
+			d := bufs[i][:req.size]
+			copy(d, req.in)
+			picked[i] = req
+			batch[i] = repro.SortRequest[int32]{Data: d, Algo: batchAlgo(req.alg)}
+		}
+		bumpInflight(inflightNow, inflightPeak, int64(n))
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.abandonAft)
+		t0 := time.Now()
+		err := rt.SortManyCtx(ctx, batch, batchOpt)
+		el := time.Since(t0)
+		cancel()
+		inflightNow.Add(-int64(n))
+		res.overall.AddDuration(el)
+		s.AddDuration(el)
+		res.requests += int64(n)
+		switch {
+		case errors.Is(err, repro.ErrDeadlineExceeded) || errors.Is(err, repro.ErrCanceled):
+			res.abandoned += int64(n)
+		case err != nil:
+			res.failures += int64(n)
+		default:
+			for i, req := range picked {
+				if !qsort.IsSorted(bufs[i][:req.size]) {
+					res.failures++
+				}
+			}
+		}
+	}
+}
+
+// bumpInflight adds d to the inflight gauge and folds it into the peak.
+func bumpInflight(now, peak *atomic.Int64, d int64) {
+	cur := now.Add(d)
+	for {
+		p := peak.Load()
+		if cur <= p || peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}

@@ -80,10 +80,11 @@ type request struct {
 // (algorithm column in the sort mix, operator name in the analytics mix)
 // and overall.
 type clientResult struct {
-	overall  stats.Sample
-	perAlgo  map[string]*stats.Sample
-	requests int64
-	failures int64
+	overall   stats.Sample
+	perAlgo   map[string]*stats.Sample
+	requests  int64
+	failures  int64
+	abandoned int64 // abandon-mix batch requests given up on (deadline/cancel)
 }
 
 // runConfig is everything one measurement point needs besides its client
@@ -97,7 +98,8 @@ type runConfig struct {
 	mix        harness.Mix
 	labels     []string // report order of the per-label latency breakdown
 	reqs       []request
-	cells      []aCell // analytics-mix workload cells (mix == MixAnalytics)
+	cells      []aCell       // analytics-mix workload cells (mix == MixAnalytics)
+	abandonAft time.Duration // batch-client context deadline (mix == MixAbandon)
 	maxSize    int
 	profileHz  float64
 	mmOpt      repro.MMOptions
@@ -124,7 +126,8 @@ func main() {
 		mAddr      = flag.String("metrics-addr", "", "serve Prometheus-style /metrics on this address during the run (e.g. 127.0.0.1:9090; empty = off)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the last measurement point to this file (empty = off)")
 		profileHz  = flag.Float64("profile-hz", 0, "sample worker states at this rate during each point (0 = off)")
-		mixStr     = flag.String("mix", "sort", "request mix: sort (Sort* requests) | analytics (filter/groupby/aggregate/topk/join/plan requests)")
+		mixStr     = flag.String("mix", "sort", "request mix: sort (Sort* requests) | analytics (filter/groupby/aggregate/topk/join/plan requests) | abandon (interactive sorts + deadline-abandoned batches)")
+		abandonAft = flag.Duration("abandon-after", 4*time.Millisecond, "batch-client context deadline in the abandon mix")
 	)
 	flag.Parse()
 
@@ -171,6 +174,7 @@ func main() {
 		maxPending: *maxPending,
 		maxInject:  *maxInject,
 		mix:        mix,
+		abandonAft: *abandonAft,
 		profileHz:  *profileHz,
 		mmOpt:      repro.MMOptions{Cutoff: *cutoff, BlockSize: *block, MinBlocksPerThread: *minBlk},
 		ssOpt:      repro.SSOptions{Cutoff: *cutoff, MinPerThread: *block * *minBlk},
@@ -201,9 +205,12 @@ func main() {
 		}
 	}
 	gen.Shutdown()
-	if mix == harness.MixAnalytics {
+	switch mix {
+	case harness.MixAnalytics:
 		cfg.labels = aOps
-	} else {
+	case harness.MixAbandon:
+		cfg.labels = []string{"interactive", "batch"}
+	default:
 		cfg.labels = harness.AlgoNames(algos)
 	}
 
@@ -251,6 +258,7 @@ func main() {
 		Failures:       last.Failures,
 		RequestsPerSec: last.RequestsPerSec,
 		PeakInflight:   last.PeakInflight,
+		Abandoned:      last.Abandoned,
 		Latency:        last.Latency,
 		Admission:      last.Admission,
 		PerAlgorithm:   last.PerAlgorithm,
@@ -333,6 +341,10 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 				analyticsClient(cfg, rt, rng, deadline, res, &inflightNow, &inflightPeak)
 				return
 			}
+			if cfg.mix == harness.MixAbandon {
+				abandonClient(cfg, rt, rng, c, deadline, res, &inflightNow, &inflightPeak)
+				return
+			}
 			// Per-client scratch, reused every iteration: allocations inside
 			// the timed loop would perturb the tail latencies being measured.
 			bufs := make([][]int32, cfg.batch)
@@ -396,7 +408,7 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 	// Fold the per-client samples.
 	var overall stats.Sample
 	perAlgo := map[string]*stats.Sample{}
-	var requests, failures int64
+	var requests, failures, abandoned int64
 	for i := range results {
 		res := &results[i]
 		overall.Merge(&res.overall)
@@ -410,6 +422,7 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 		}
 		requests += res.requests
 		failures += res.failures
+		abandoned += res.abandoned
 	}
 
 	adm := rt.Scheduler().Admission()
@@ -421,13 +434,17 @@ func runPoint(cfg runConfig, point, clients int, duration time.Duration,
 		Failures:       failures,
 		RequestsPerSec: float64(requests) / elapsed.Seconds(),
 		PeakInflight:   inflightPeak.Load(),
+		Abandoned:      abandoned,
 		Latency:        latencyOf(&overall),
 		Admission: admissionJSON{
 			Injected:      adm.Injected,
 			Taken:         adm.Taken,
+			Revoked:       adm.Revoked,
 			Pending:       adm.Pending,
 			Rejected:      adm.Rejected,
 			BlockedSpawns: adm.BlockedSpawns,
+			Canceled:      adm.Canceled,
+			SpawnTimeouts: adm.SpawnTimeouts,
 			PeakPending:   adm.PeakPending,
 		},
 	}
@@ -530,9 +547,12 @@ type latencyJSON struct {
 type admissionJSON struct {
 	Injected      int64 `json:"injected"`
 	Taken         int64 `json:"taken"`
+	Revoked       int64 `json:"revoked"`
 	Pending       int64 `json:"pending"`
 	Rejected      int64 `json:"rejected"`
 	BlockedSpawns int64 `json:"blocked_spawns"`
+	Canceled      int64 `json:"canceled"`
+	SpawnTimeouts int64 `json:"spawn_timeouts"`
 	PeakPending   int64 `json:"peak_pending"`
 }
 
@@ -552,6 +572,7 @@ type pointJSON struct {
 	Failures       int64         `json:"failures"`
 	RequestsPerSec float64       `json:"requests_per_second"`
 	PeakInflight   int64         `json:"peak_inflight_requests"`
+	Abandoned      int64         `json:"abandoned_requests,omitempty"`
 	Latency        latencyJSON   `json:"latency"`
 	Admission      admissionJSON `json:"admission"`
 	PerAlgorithm   []algoReport  `json:"per_algorithm,omitempty"`
@@ -568,6 +589,7 @@ type report struct {
 	Failures       int64              `json:"failures"`
 	RequestsPerSec float64            `json:"requests_per_second"`
 	PeakInflight   int64              `json:"peak_inflight_requests"`
+	Abandoned      int64              `json:"abandoned_requests,omitempty"`
 	Latency        latencyJSON        `json:"latency"`
 	Admission      admissionJSON      `json:"admission"`
 	PerAlgorithm   []algoReport       `json:"per_algorithm"`
@@ -588,8 +610,8 @@ func latencyOf(s *stats.Sample) latencyJSON {
 }
 
 func admissionLine(a admissionJSON) string {
-	return fmt.Sprintf("injected=%d rejected=%d blocked=%d peak_pending=%d",
-		a.Injected, a.Rejected, a.BlockedSpawns, a.PeakPending)
+	return fmt.Sprintf("injected=%d revoked=%d rejected=%d blocked=%d canceled=%d peak_pending=%d",
+		a.Injected, a.Revoked, a.Rejected, a.BlockedSpawns, a.Canceled, a.PeakPending)
 }
 
 func fatal(err error) {

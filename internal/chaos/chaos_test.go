@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qsort"
+)
+
+// TestRollEdges pins the probability edges: 0 never fires, 1 always fires.
+func TestRollEdges(t *testing.T) {
+	i := New(Options{Seed: 1})
+	for k := 0; k < 1000; k++ {
+		if i.roll(0) {
+			t.Fatal("roll(0) fired")
+		}
+		if !i.roll(1) {
+			t.Fatal("roll(1) did not fire")
+		}
+	}
+}
+
+// TestRollRate sanity-checks the hash stream: a 1/8 roll over 64k draws
+// should land within a factor of two of the expectation.
+func TestRollRate(t *testing.T) {
+	i := New(Options{Seed: 42})
+	hits := 0
+	const draws = 1 << 16
+	for k := 0; k < draws; k++ {
+		if i.roll(8) {
+			hits++
+		}
+	}
+	want := draws / 8
+	if hits < want/2 || hits > want*2 {
+		t.Fatalf("1/8 roll fired %d/%d times, want ≈%d", hits, draws, want)
+	}
+}
+
+// TestFaultCounters checks that the hook attributes calls and injections to
+// the right fault points.
+func TestFaultCounters(t *testing.T) {
+	i := New(Options{
+		StallEvery: 1, StallDur: time.Microsecond,
+		DelayTakeEvery: 0,
+		DelayDur:       time.Microsecond,
+	})
+	i.Fault(core.FaultWorkerLoop, 0)
+	i.Fault(core.FaultWorkerLoop, 1)
+	i.Fault(core.FaultInjectTake, 0)
+	st := i.Stats()
+	if st.Calls[core.FaultWorkerLoop] != 2 || st.Injected[core.FaultWorkerLoop] != 2 {
+		t.Fatalf("worker-loop counters = %d/%d, want 2/2",
+			st.Calls[core.FaultWorkerLoop], st.Injected[core.FaultWorkerLoop])
+	}
+	if st.Calls[core.FaultInjectTake] != 1 || st.Injected[core.FaultInjectTake] != 0 {
+		t.Fatalf("inject-take counters = %d/%d, want 1/0",
+			st.Calls[core.FaultInjectTake], st.Injected[core.FaultInjectTake])
+	}
+}
+
+// TestChaosStress is the fault-injection soak: a bounded scheduler with
+// stalls and delays at every fault point, clients flooding groups with small
+// sorts while a cancel storm revokes admitted work mid-flight. The
+// invariants checked afterward are the ones the tentpole promises:
+//
+//   - every Wait releases (the test would hang otherwise, so -timeout guards)
+//   - canceled groups report their cause, uncanceled ones report nil
+//   - every group's inflight reconciles to zero
+//   - admission reconciles globally: injected == taken + revoked
+//   - each sort either completed sorted or its group was canceled
+//
+// Run it under -race (scripts/check.sh lists this package) to let the
+// injected stalls widen every window the memory model must cover.
+func TestChaosStress(t *testing.T) {
+	inj := New(Options{
+		Seed:            7,
+		StallEvery:      64,
+		StallDur:        50 * time.Microsecond,
+		DelayTakeEvery:  16,
+		AdmitDelayEvery: 16,
+		DelayDur:        20 * time.Microsecond,
+		CancelEvery:     3,
+	})
+	s := core.New(core.Options{
+		P:                  4,
+		MaxInject:          32,
+		MaxPendingPerGroup: 16,
+		Fault:              inj.Fault,
+	})
+	defer s.Shutdown()
+
+	const (
+		clients        = 4
+		roundsPerC     = 8
+		sortsPerClient = 6
+	)
+	errCause := errors.New("chaos: storm")
+	var canceled, completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < roundsPerC; r++ {
+				g := s.NewGroup()
+				data := make([][]int, sortsPerClient)
+				for j := range data {
+					d := make([]int, 512)
+					for k := range d {
+						d[k] = (k*2654435761 + c + r + j) % 977
+					}
+					data[j] = d
+					if err := g.SpawnRetry(qsort.ForkJoinRoot(d, 64)); err != nil {
+						// Only a canceled/shutdown group refuses a retried
+						// spawn; the sort for this slice never starts.
+						break
+					}
+					inj.MaybeCancel(g, errCause)
+				}
+				err := g.WaitErr()
+				if g.Pending() != 0 {
+					t.Errorf("group pending = %d after WaitErr", g.Pending())
+				}
+				if g.Canceled() {
+					canceled.Add(1)
+					if !errors.Is(err, errCause) {
+						t.Errorf("canceled group WaitErr = %v, want %v", err, errCause)
+					}
+					continue
+				}
+				completed.Add(1)
+				if err != nil {
+					t.Errorf("live group WaitErr = %v, want nil", err)
+				}
+				for _, d := range data {
+					if !sorted(d) {
+						t.Errorf("uncanceled group left unsorted data")
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Wait() // drain any abandoned continuations
+
+	if s.Pending() != 0 {
+		t.Fatalf("scheduler pending = %d after drain", s.Pending())
+	}
+	adm := s.Admission()
+	if adm.Injected != adm.Taken+adm.Revoked {
+		t.Fatalf("admission does not reconcile: injected=%d taken=%d revoked=%d",
+			adm.Injected, adm.Taken, adm.Revoked)
+	}
+	st := inj.Stats()
+	t.Logf("chaos: %d canceled / %d completed groups; cancels=%d revoked=%d stalls=%d take-delays=%d admit-delays=%d",
+		canceled.Load(), completed.Load(), st.Cancels, adm.Revoked,
+		st.Injected[core.FaultWorkerLoop], st.Injected[core.FaultInjectTake],
+		st.Injected[core.FaultAdmit])
+	if canceled.Load() == 0 {
+		t.Error("cancel storm never landed — CancelEvery too weak for this seed")
+	}
+	if completed.Load() == 0 {
+		t.Error("every group canceled — no completion path exercised")
+	}
+}
+
+// TestChaosDeadlineUnderSaturation drives blocking spawns into a saturated
+// scheduler whose groups carry deadlines: the blocked spawns must return
+// ErrDeadlineExceeded instead of parking forever, even while the fault hook
+// stalls workers.
+func TestChaosDeadlineUnderSaturation(t *testing.T) {
+	inj := New(Options{Seed: 11, StallEvery: 8, StallDur: 20 * time.Microsecond})
+	s := core.New(core.Options{P: 2, MaxInject: 2, Fault: inj.Fault})
+	defer s.Shutdown()
+
+	// Plug the workers so admitted work cannot drain.
+	release := make(chan struct{})
+	var plugged sync.WaitGroup
+	plug := s.NewGroup()
+	for i := 0; i < s.P(); i++ {
+		plugged.Add(1)
+		plug.Spawn(core.Func(1, func(*core.Ctx) { plugged.Done(); <-release }))
+	}
+	plugged.Wait()
+
+	// Fill the inject queue to MaxInject, then overflow it from a group with
+	// a deadline: the blocking spawn must park and time out.
+	filler := s.NewGroup()
+	for filler.PendingInjected() < 2 {
+		if err := filler.TrySpawn(core.Func(1, func(*core.Ctx) {})); err != nil {
+			t.Fatalf("filler TrySpawn: %v", err)
+		}
+	}
+	g := s.NewGroup()
+	g.Deadline(time.Now().Add(30 * time.Millisecond))
+	err := g.Spawn(core.Func(1, func(*core.Ctx) {}))
+	if !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("blocked Spawn past deadline = %v, want ErrDeadlineExceeded", err)
+	}
+
+	close(release)
+	plug.Wait()
+	filler.Wait()
+	if err := g.WaitErr(); !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("WaitErr = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func sorted(d []int) bool {
+	for i := 1; i < len(d); i++ {
+		if d[i-1] > d[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -98,8 +98,14 @@ func (s *Scheduler) admitRoom(q *injectQ, want int) int {
 func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
 	s.extInflightAdd(int64(len(ns)))
 	g := ns[0].group
+	var gepoch uint64
 	if g != nil {
 		g.inflight.Add(int64(len(ns)))
+		// Stamp the group's cancellation epoch once per batch: a later
+		// Cancel bumps the epoch under this same lock, so a take that finds
+		// a node's stamp stale knows the node predates the cancel and
+		// revokes it (see cancel.go and takeInjected).
+		gepoch = g.epoch //repro:ownerstore admitMu serializes this read with the epoch bump in Group.cancel
 	}
 	// Stamp the admission time once per batch: the admission-wait histogram
 	// (always on) measures enqueue→take, and the tracer — when enabled —
@@ -114,6 +120,7 @@ func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
 	traced := xt.Enabled()
 	for _, n := range ns {
 		n.enq = now
+		n.gepoch = gepoch
 		if traced {
 			n.tid = xt.Record(s.topo.P, trace.EvInjectEnqueue, 0, gid, 0)
 		}
@@ -142,16 +149,29 @@ func (s *Scheduler) enqueueLocked(q *injectQ, ns []*node) {
 }
 
 // admitBlocking admits every node of ns into q in submission order, parking
-// while the bounds leave no room. On shutdown the not-yet-admitted remainder
-// is dropped without having been accounted (spawning on a shut-down
-// scheduler is a documented no-op). Returns the number of admitted nodes.
-// Batches larger than a bound are admitted in chunks as room frees up.
-func (s *Scheduler) admitBlocking(q *injectQ, ns []*node) int {
+// while the bounds leave no room, and returns the number of admitted nodes
+// plus the typed reason admission stopped early: ErrShutdown on a shut-down
+// scheduler, or g's cancellation cause once the group is canceled — a
+// parked spawner wakes on cancel/deadline (Group.cancel broadcasts) instead
+// of blocking forever. The not-yet-admitted remainder is dropped without
+// having been accounted. Batches larger than a bound are admitted in chunks
+// as room frees up. g is nil for the group-less Scheduler.Spawn queue.
+func (s *Scheduler) admitBlocking(g *Group, q *injectQ, ns []*node) (int, error) {
+	if f := s.opts.Fault; f != nil {
+		f(FaultAdmit, -1)
+	}
 	admitted := 0
 	blocked := false
+	var err error
 	s.admitMu.Lock()
 	for admitted < len(ns) {
 		if s.done.Load() {
+			err = ErrShutdown
+			break
+		}
+		if g != nil && g.epoch&1 == 1 { //repro:ownerstore admitMu serializes this read with the epoch bump in Group.cancel
+			err = g.cause // safe: odd epoch observed under admitMu, cause written before the bump
+			s.admit.Rejected.Add(int64(len(ns) - admitted))
 			break
 		}
 		k := s.admitRoom(q, len(ns)-admitted)
@@ -169,22 +189,34 @@ func (s *Scheduler) admitBlocking(q *injectQ, ns []*node) int {
 		admitted += k
 	}
 	s.admitMu.Unlock()
-	for _, n := range ns[admitted:] {
-		putNodeShared(n) // dropped on shutdown: never accounted, never published
+	if errors.Is(err, ErrDeadlineExceeded) {
+		s.admit.SpawnTimeouts.Add(1)
 	}
-	return admitted
+	for _, n := range ns[admitted:] {
+		putNodeShared(n) // dropped on shutdown/cancel: never accounted, never published
+	}
+	return admitted, err
 }
 
 // admitTry admits the longest prefix of ns that fits without blocking.
 // It returns the number admitted and ErrSaturated if any node was refused,
-// or ErrShutdown (admitting nothing) on a shut-down scheduler.
-func (s *Scheduler) admitTry(q *injectQ, ns []*node) (int, error) {
+// ErrShutdown (admitting nothing) on a shut-down scheduler, or the
+// cancellation cause (admitting nothing) on a canceled group. g is nil for
+// the group-less Scheduler queue.
+func (s *Scheduler) admitTry(g *Group, q *injectQ, ns []*node) (int, error) {
+	if f := s.opts.Fault; f != nil {
+		f(FaultAdmit, -1)
+	}
 	s.admitMu.Lock()
 	var err error
 	k := 0
-	if s.done.Load() {
+	switch {
+	case s.done.Load():
 		err = ErrShutdown
-	} else {
+	case g != nil && g.epoch&1 == 1: //repro:ownerstore admitMu serializes this read with the epoch bump in Group.cancel
+		err = g.cause // safe: odd epoch observed under admitMu, cause written before the bump
+		s.admit.Rejected.Add(int64(len(ns)))
+	default:
 		k = s.admitRoom(q, len(ns))
 		if k > 0 {
 			s.enqueueLocked(q, ns[:k])
@@ -207,6 +239,13 @@ func (s *Scheduler) admitTry(q *injectQ, ns []*node) (int, error) {
 // the back on its next admission), so sources that keep refilling rotate
 // fairly. Freed room wakes parked blocking spawners.
 //
+// Revocation happens here, at take time: a node whose epoch stamp no longer
+// matches its group's cancellation epoch was admitted before the group was
+// canceled, so it is recycled without executing — its accounting unwound
+// like a completion (finishRevoke) — and the loop tries the next node. The
+// live case costs one predicted load and compare; the interior spawn path
+// (Ctx.Spawn) is untouched.
+//
 // The empty case is the hot one: every idle coordinator polls here each
 // loop iteration, so a scheduler with no external work must not serialize
 // its workers on admitMu. One lock-free atomic load answers "is there
@@ -215,58 +254,106 @@ func (s *Scheduler) takeInjected(w *worker) bool {
 	if s.pendingInject.Load() == 0 {
 		return false
 	}
-	s.admitMu.Lock()
-	q := s.ringHead
-	if q == nil {
-		// The pending count was stale: another worker drained the queues
-		// between our load and the lock.
-		s.admitMu.Unlock()
-		return false
+	if f := s.opts.Fault; f != nil {
+		f(FaultInjectTake, w.id)
 	}
-	// A parked spawner is blocked on a bound that was exhausted when it last
-	// checked; this take can only unblock it if it crosses that bound's
-	// boundary. Waking on every take would stampede all parked clients per
-	// drained task (the clients ≫ bound regime) when at most one can admit.
-	wake := false
-	if m := s.opts.MaxInject; m > 0 && int(s.pendingInject.Load()) == m {
-		wake = true
-	}
-	if m := s.opts.MaxPendingPerGroup; m > 0 && q.pending() == m {
-		wake = true
-	}
-	n := q.pop()
-	if q.pending() == 0 {
-		q.active = false
-		if q.next == q {
-			s.ringHead = nil
+	for {
+		s.admitMu.Lock()
+		q := s.ringHead
+		if q == nil {
+			// The pending count was stale: another worker drained the queues
+			// between our load and the lock.
+			s.admitMu.Unlock()
+			return false
+		}
+		// A parked spawner is blocked on a bound that was exhausted when it
+		// last checked; this take can only unblock it if it crosses that
+		// bound's boundary. Waking on every take would stampede all parked
+		// clients per drained task (the clients ≫ bound regime) when at most
+		// one can admit.
+		wake := false
+		if m := s.opts.MaxInject; m > 0 && int(s.pendingInject.Load()) == m {
+			wake = true
+		}
+		if m := s.opts.MaxPendingPerGroup; m > 0 && q.pending() == m {
+			wake = true
+		}
+		n := q.pop()
+		if q.pending() == 0 {
+			q.active = false
+			if q.next == q {
+				s.ringHead = nil
+			} else {
+				q.prev.next, q.next.prev = q.next, q.prev
+				s.ringHead = q.next
+			}
+			q.next, q.prev = nil, nil
+			s.ringLen--
 		} else {
-			q.prev.next, q.next.prev = q.next, q.prev
-			s.ringHead = q.next
+			s.ringHead = q.next // rotate: next source serves the next take
 		}
-		q.next, q.prev = nil, nil
-		s.ringLen--
-	} else {
-		s.ringHead = q.next // rotate: next source serves the next take
+		s.pendingInject.Add(-1)
+		g := n.group
+		revoked := g != nil && n.gepoch != g.epoch //repro:ownerstore admitMu serializes this read with the epoch bump in Group.cancel
+		if revoked {
+			s.admit.Revoked.Add(1)
+			// Unwind the admission-time global-shard add here, under admitMu
+			// like the add itself; the group decrement follows outside the
+			// lock — global first, then group, the same ordering argument as
+			// taskDone (see inflight.go and the README).
+			s.extInflightAdd(-1)
+		} else {
+			s.admit.Taken.Add(1)
+		}
+		if wake && s.admitWaiters > 0 {
+			s.admitCond.Broadcast()
+		}
+		s.admitMu.Unlock()
+		if revoked {
+			s.finishRevoke(w, n, g)
+			continue // a live node may sit right behind the revoked one
+		}
+		// Scheduler-owned admission latency: every take feeds the histogram,
+		// so the inject-to-take wait is observable without client cooperation.
+		s.admitWait.Observe(w.id, float64(trace.Now()-n.enq)/1e9)
+		if xt := s.xt; xt.Enabled() {
+			var gid uint32
+			if g != nil {
+				gid = uint32(g.gid)
+			}
+			xt.Record(w.id, trace.EvInjectTake, s.topo.P, gid, n.tid)
+		}
+		w.st.InjectTakes.Add(1)
+		w.pushNode(n)
+		return true
 	}
-	s.pendingInject.Add(-1)
-	s.admit.Taken.Add(1)
-	if wake && s.admitWaiters > 0 {
-		s.admitCond.Broadcast()
-	}
-	s.admitMu.Unlock()
-	// Scheduler-owned admission latency: every take feeds the histogram, so
-	// the inject-to-take wait is observable without client cooperation.
-	s.admitWait.Observe(w.id, float64(trace.Now()-n.enq)/1e9)
+}
+
+// finishRevoke completes a take-time revocation off the admission lock: the
+// node never executes, so its in-flight accounting is released exactly as a
+// completion would have released it — armed global quiescence scan after the
+// already-done global decrement, then the group decrement with its exact
+// zero-transition release — and the node is recycled on the revoking
+// worker's free list. Each admitted node is revoked at most once (it was
+// popped from its inject queue under admitMu), so Wait still releases
+// exactly once.
+func (s *Scheduler) finishRevoke(w *worker, n *node, g *Group) {
 	if xt := s.xt; xt.Enabled() {
-		var gid uint32
-		if n.group != nil {
-			gid = uint32(n.group.gid)
-		}
-		xt.Record(w.id, trace.EvInjectTake, s.topo.P, gid, n.tid)
+		xt.Record(w.id, trace.EvInjectRevoke, s.topo.P, uint32(g.gid), n.tid)
 	}
-	w.st.InjectTakes.Add(1)
-	w.pushNode(n)
-	return true
+	if s.qz.armed() {
+		w.st.QuiesceScans.Add(1)
+		if s.quiescent() {
+			s.qz.release()
+		}
+	}
+	if g.inflight.Add(-1) == 0 {
+		if xt := s.xt; xt.Enabled() {
+			xt.Record(w.id, trace.EvGroupDone, w.id, uint32(g.gid), 0)
+		}
+		g.qz.release()
+	}
+	w.freeNode(n)
 }
 
 // PendingInjected returns the number of admitted external tasks no worker

@@ -422,3 +422,72 @@ func FuzzAdmission(f *testing.F) {
 		}
 	})
 }
+
+// TestWBTrySpawnBatchPrefix pins the documented partial-admission contract
+// of TrySpawnBatch: the returned count is the length of the admitted
+// *prefix* — exactly tasks ts[0:n] run, in order — and the rejected suffix
+// is never accounted anywhere (its nodes go straight back to the free
+// lists). Whitebox: single worker driven by hand for a deterministic drain.
+func TestWBTrySpawnBatchPrefix(t *testing.T) {
+	s := build(Options{P: 2, MaxInject: 2})
+	w := s.workers[0]
+	g := s.NewGroup()
+	var order []int
+	batch := make([]Task, 5)
+	for i := range batch {
+		batch[i] = label(&order, i)
+	}
+	n, err := g.TrySpawnBatch(batch)
+	if n != 2 || !errors.Is(err, ErrSaturated) {
+		t.Fatalf("TrySpawnBatch = (%d, %v), want (2, ErrSaturated)", n, err)
+	}
+	// Only the prefix is accounted: the suffix must not appear in any
+	// pending counter (a leak here would wedge Wait forever).
+	if got := g.Pending(); got != 2 {
+		t.Fatalf("group Pending = %d, want 2 (the admitted prefix)", got)
+	}
+	if got := s.PendingInjected(); got != 2 {
+		t.Fatalf("PendingInjected = %d, want 2", got)
+	}
+	for drainOne(s, w) {
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("ran %v, want the prefix [0 1] in order", order)
+	}
+	snap := s.Admission()
+	if snap.Injected != 2 || snap.Rejected != 3 || snap.Pending != 0 {
+		t.Fatalf("admission counters = %v, want injected=2 rejected=3 pending=0", snap)
+	}
+}
+
+// TestWBRevokeAtTake pins the revocation interleaving deterministically:
+// admit, cancel, then drive the take by hand. The node must be revoked —
+// never run — and both the global and the per-group accounting must release
+// on the revocation path, with the admission counters attributing the node
+// to Revoked rather than Taken.
+func TestWBRevokeAtTake(t *testing.T) {
+	s := build(Options{P: 2})
+	w := s.workers[0]
+	g := s.NewGroup()
+	var order []int
+	g.Spawn(label(&order, 0))
+	g.Spawn(label(&order, 1))
+	g.Cancel(ErrCanceled)
+
+	// takeInjected must consume the whole queue revoking (returning false:
+	// it never yields a runnable task), not hand the nodes to the worker.
+	if s.takeInjected(w) {
+		t.Fatal("takeInjected returned true for a fully-revoked queue")
+	}
+	if len(order) != 0 {
+		t.Fatalf("revoked tasks ran: %v", order)
+	}
+	if g.Pending() != 0 || s.PendingInjected() != 0 || s.Pending() != 0 {
+		t.Fatalf("residue after revoke: group=%d injected=%d global=%d",
+			g.Pending(), s.PendingInjected(), s.Pending())
+	}
+	snap := s.Admission()
+	if snap.Injected != 2 || snap.Taken != 0 || snap.Revoked != 2 {
+		t.Fatalf("admission counters = %v, want injected=2 taken=0 revoked=2", snap)
+	}
+}

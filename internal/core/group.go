@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Group is a set of tasks with its own quiescence: Wait returns when every
@@ -54,6 +56,22 @@ type Group struct {
 
 	qz quiesce // parks Wait on the inflight zero transition
 	iq injectQ // pending external submissions; guarded by s.admitMu
+
+	// epoch is the group's cancellation epoch: even while live, odd once
+	// canceled (see cancel.go). It is bumped only under s.admitMu — the lock
+	// admission and take already hold — so a node's stamp at admission
+	// (node.gepoch) and the comparison at take time observe a cancel
+	// atomically with the queue state; lock-free readers (Ctx.Canceled,
+	// Err, Wait-side checks) use atomic loads.
+	epoch uint64
+
+	// cancelMu serializes the control-plane transitions (Cancel, Deadline,
+	// Reset); it is never taken on a task path. cause is written under
+	// cancelMu before the epoch goes odd and read only after observing the
+	// odd epoch; timer is the pending Deadline timer.
+	cancelMu sync.Mutex
+	cause    error
+	timer    *time.Timer
 }
 
 // NewGroup returns a fresh, empty task group on s.
@@ -90,11 +108,17 @@ func (g *Group) Scheduler() *Scheduler { return g.s }
 // the group's quiescence once admitted. Do not call a potentially blocking
 // Spawn from inside a running task of the same scheduler — a worker parked
 // on admission cannot help drain the very queues it waits on; use Ctx.Spawn
-// (never throttled) or TrySpawn there. On a shut-down scheduler Spawn is a
-// documented no-op: the task is dropped without inflating any in-flight
-// count.
-func (g *Group) Spawn(t Task) {
-	g.s.admitBlocking(&g.iq, []*node{g.s.makeNode(t, g)})
+// (never throttled) or TrySpawn there.
+//
+// Spawn returns nil once the task is admitted. On a shut-down scheduler it
+// returns ErrShutdown; on a canceled group (including a parked Spawn whose
+// group is canceled or passes its deadline while waiting) it returns the
+// cancellation cause — ErrCanceled, ErrDeadlineExceeded, or the Cancel
+// argument. In every error case the task is dropped without inflating any
+// in-flight count.
+func (g *Group) Spawn(t Task) error {
+	_, err := g.s.admitBlocking(g, &g.iq, []*node{g.s.makeNode(t, g)})
+	return err
 }
 
 // SpawnBatch submits several tasks under a single admission-lock
@@ -102,34 +126,42 @@ func (g *Group) Spawn(t Task) {
 // requests at once. The whole batch is validated before any task is
 // accounted, so a panic on an invalid task (like Spawn's) leaves no
 // inflight count behind. Under admission bounds the batch is admitted in
-// FIFO chunks as room frees up (blocking in between); on shutdown the
-// unadmitted remainder is dropped.
-func (g *Group) SpawnBatch(ts []Task) {
+// FIFO chunks as room frees up (blocking in between); on shutdown or group
+// cancellation the unadmitted remainder is dropped and SpawnBatch returns
+// the typed reason like Spawn (the already-admitted prefix stays admitted —
+// on a canceled group it is revoked at take time like any other node).
+func (g *Group) SpawnBatch(ts []Task) error {
 	if len(ts) == 0 {
-		return
+		return nil
 	}
 	ns := make([]*node, len(ts))
 	for i, t := range ts {
 		ns[i] = g.s.makeNode(t, g)
 	}
-	g.s.admitBlocking(&g.iq, ns)
+	_, err := g.s.admitBlocking(g, &g.iq, ns)
+	return err
 }
 
 // TrySpawn is the non-blocking form of Spawn: it admits t if the admission
 // bounds leave room and returns nil, or returns ErrSaturated (the task is
-// dropped, nothing accounted) when they do not, or ErrShutdown on a
-// shut-down scheduler. It is the safe way to submit from latency-sensitive
-// clients and from inside running tasks.
+// dropped, nothing accounted) when they do not, ErrShutdown on a shut-down
+// scheduler, or the cancellation cause on a canceled group. It is the safe
+// way to submit from latency-sensitive clients and from inside running
+// tasks.
 func (g *Group) TrySpawn(t Task) error {
-	_, err := g.s.admitTry(&g.iq, []*node{g.s.makeNode(t, g)})
+	_, err := g.s.admitTry(g, &g.iq, []*node{g.s.makeNode(t, g)})
 	return err
 }
 
-// TrySpawnBatch is the non-blocking form of SpawnBatch: it admits the
-// longest prefix of ts that fits under the admission bounds and returns how
-// many tasks were admitted, plus ErrSaturated if any were refused or
-// ErrShutdown (admitting none) on a shut-down scheduler. The whole batch is
-// validated up front, like SpawnBatch.
+// TrySpawnBatch is the non-blocking form of SpawnBatch. It admits exactly
+// the longest prefix of ts that fits under the admission bounds — admission
+// is in submission order and stops at the first task that does not fit, so
+// the returned count k means ts[:k] were admitted and ts[k:] were not — and
+// returns ErrSaturated if any task was refused. On a shut-down scheduler it
+// returns (0, ErrShutdown); on a canceled group (0, cause). Refused tasks
+// are dropped without being accounted (their wrapper nodes are recycled);
+// the caller may resubmit ts[k:] later. The whole batch is validated up
+// front, like SpawnBatch.
 func (g *Group) TrySpawnBatch(ts []Task) (int, error) {
 	if len(ts) == 0 {
 		return 0, nil
@@ -138,7 +170,7 @@ func (g *Group) TrySpawnBatch(ts []Task) (int, error) {
 	for i, t := range ts {
 		ns[i] = g.s.makeNode(t, g)
 	}
-	return g.s.admitTry(&g.iq, ns)
+	return g.s.admitTry(g, &g.iq, ns)
 }
 
 // Wait blocks until the group is quiescent: every task spawned into it (and
@@ -149,7 +181,11 @@ func (g *Group) TrySpawnBatch(ts []Task) (int, error) {
 // blocking on external quiescence could deadlock the team protocol); use
 // TaskGroup for in-task joins. If the scheduler is shut down while the
 // group still has tasks, Wait returns early — the tasks are abandoned (see
-// Scheduler.Shutdown) and would never drain.
+// Scheduler.Shutdown) and would never drain. On a canceled group Wait still
+// waits for the true drain: started tasks run to completion (observing
+// Ctx.Canceled) and never-started nodes are revoked by workers at take
+// time, each releasing the in-flight count exactly once — use WaitErr to
+// learn how the group ended.
 func (g *Group) Wait() {
 	for {
 		if g.inflight.Load() == 0 || g.s.done.Load() {
@@ -168,10 +204,14 @@ func (g *Group) Wait() {
 
 // Run submits t into the group and waits for the group's quiescence. On a
 // fresh group this is exactly the old global Scheduler.Run semantics scoped
-// to t's own task tree.
-func (g *Group) Run(t Task) {
-	g.Spawn(t)
-	g.Wait()
+// to t's own task tree. It returns WaitErr's verdict (nil on a clean drain,
+// the cancellation cause or ErrShutdown otherwise); if the spawn itself is
+// refused it returns that reason without waiting.
+func (g *Group) Run(t Task) error {
+	if err := g.Spawn(t); err != nil {
+		return err
+	}
+	return g.WaitErr()
 }
 
 // Pending returns the group's current in-flight task count (racy; for tests

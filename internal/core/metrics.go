@@ -106,11 +106,20 @@ func (s *Scheduler) RegisterMetrics(reg *stats.Registry) {
 		"Admitted tasks moved onto worker queues.",
 		nil, func() float64 { return float64(s.admit.Taken.Load()) })
 	reg.CounterFunc("repro_admission_rejected_total",
-		"Tasks refused by a non-blocking spawn (ErrSaturated).",
+		"Tasks refused by a non-blocking spawn (ErrSaturated or canceled group).",
 		nil, func() float64 { return float64(s.admit.Rejected.Load()) })
 	reg.CounterFunc("repro_admission_blocked_spawns_total",
 		"Blocking spawn calls that had to park for inject room.",
 		nil, func() float64 { return float64(s.admit.BlockedSpawns.Load()) })
+	reg.CounterFunc("repro_canceled_total",
+		"Group cancellations (Cancel, deadline fire, bound context).",
+		nil, func() float64 { return float64(s.admit.Canceled.Load()) })
+	reg.CounterFunc("repro_revoked_total",
+		"Admitted tasks revoked at take time because their group was canceled.",
+		nil, func() float64 { return float64(s.admit.Revoked.Load()) })
+	reg.CounterFunc("repro_spawn_timeouts_total",
+		"Blocking or retrying spawns that returned ErrDeadlineExceeded.",
+		nil, func() float64 { return float64(s.admit.SpawnTimeouts.Load()) })
 	reg.GaugeFunc("repro_admission_peak_pending",
 		"High-water mark of pending injected tasks.",
 		nil, func() float64 { return float64(s.admit.PeakPending.Load()) })

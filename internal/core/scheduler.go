@@ -51,7 +51,37 @@ type Options struct {
 	// rounded up to a power of two). 0 selects the default (8192). Rings
 	// are allocated lazily on the first StartTrace.
 	TraceEvents int
+	// Fault, when non-nil, is invoked at the scheduler's fault points (see
+	// FaultPoint) with the executing worker's id, or −1 on client
+	// goroutines — the fault-injection hook behind internal/chaos. The hook
+	// may sleep or spin to model stalls, and may cancel groups, but must not
+	// call back into the scheduler's spawn or wait paths. A nil hook costs
+	// one predicted branch per fault point, none of them on the interior
+	// spawn path.
+	Fault func(p FaultPoint, worker int)
 }
+
+// FaultPoint identifies a scheduler code path at which the Options.Fault
+// hook fires. The points cover the paths whose timing matters for graceful
+// degradation — admission, inject take, and the worker loop — not the
+// interior spawn/run hot path, which stays hook-free.
+type FaultPoint uint8
+
+const (
+	// FaultWorkerLoop fires at the top of every worker loop iteration
+	// (member polling, coordination, take, steal all follow it). Stalling
+	// here models a descheduled or overloaded worker.
+	FaultWorkerLoop FaultPoint = iota
+	// FaultInjectTake fires when a worker observed pending injected work and
+	// is about to drain the inject queues. Delaying here widens the window
+	// between a group's cancellation and its nodes' revocation.
+	FaultInjectTake
+	// FaultAdmit fires at the start of every external admission call
+	// (blocking and non-blocking), on the submitting goroutine (worker −1).
+	FaultAdmit
+
+	NumFaultPoints
+)
 
 // Scheduler is a work-stealing scheduler with deterministic team-building.
 // Create with New, feed it with Spawn or Run, and release its workers with
@@ -189,11 +219,14 @@ func (s *Scheduler) MaxTeam() int { return s.topo.MaxTeam }
 // its own quiescence domain, spawn through a Group instead.
 //
 // With admission bounds configured (Options.MaxPendingPerGroup/MaxInject),
-// Spawn blocks while the bounds leave no room. On a scheduler that has been
-// shut down, Spawn is a no-op: the task is dropped without ever being
-// accounted in-flight (see Shutdown).
-func (s *Scheduler) Spawn(t Task) {
-	s.admitBlocking(&s.noGroupQ, []*node{s.makeNode(t, nil)})
+// Spawn blocks while the bounds leave no room. It returns nil once the task
+// is admitted, or ErrShutdown on a scheduler that has been shut down — the
+// task is then dropped without ever being accounted in-flight (see
+// Shutdown). Group-less tasks cannot be canceled; spawn through a Group for
+// deadline/cancellation support.
+func (s *Scheduler) Spawn(t Task) error {
+	_, err := s.admitBlocking(nil, &s.noGroupQ, []*node{s.makeNode(t, nil)})
+	return err
 }
 
 // Wait blocks until all spawned tasks (and their descendants) have
@@ -220,12 +253,13 @@ func (s *Scheduler) Wait() {
 }
 
 // Run submits t as a one-shot group and waits for that group's quiescence:
-// it returns when t and all its descendants have completed. For a single
-// client this is indistinguishable from waiting for global quiescence; with
-// several concurrent clients on one scheduler, each Run waits only for its
-// own task tree.
-func (s *Scheduler) Run(t Task) {
-	s.NewGroup().Run(t)
+// it returns when t and all its descendants have completed (nil), or
+// ErrShutdown if the scheduler shut down first. For a single client this is
+// indistinguishable from waiting for global quiescence; with several
+// concurrent clients on one scheduler, each Run waits only for its own task
+// tree.
+func (s *Scheduler) Run(t Task) error {
+	return s.NewGroup().Run(t)
 }
 
 // Shutdown stops all workers. Outstanding tasks are abandoned; call Wait

@@ -44,9 +44,15 @@ func TestSpawnAfterShutdownIsNoOp(t *testing.T) {
 	g := s.NewGroup()
 	s.Shutdown()
 
-	s.Spawn(Solo(func(*Ctx) { t.Error("ran a task spawned after Shutdown") }))
-	g.Spawn(Solo(func(*Ctx) { t.Error("ran a group task spawned after Shutdown") }))
-	g.SpawnBatch([]Task{Solo(func(*Ctx) { t.Error("ran a batch task spawned after Shutdown") })})
+	if err := s.Spawn(Solo(func(*Ctx) { t.Error("ran a task spawned after Shutdown") })); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Spawn after Shutdown: err = %v, want ErrShutdown", err)
+	}
+	if err := g.Spawn(Solo(func(*Ctx) { t.Error("ran a group task spawned after Shutdown") })); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("group Spawn after Shutdown: err = %v, want ErrShutdown", err)
+	}
+	if err := g.SpawnBatch([]Task{Solo(func(*Ctx) { t.Error("ran a batch task spawned after Shutdown") })}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("SpawnBatch after Shutdown: err = %v, want ErrShutdown", err)
+	}
 	if err := g.TrySpawn(Solo(func(*Ctx) {})); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("TrySpawn after Shutdown: err = %v, want ErrShutdown", err)
 	}

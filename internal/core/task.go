@@ -48,12 +48,17 @@ type Task interface {
 // tid is the trace id of the event that created the task (0 while tracing is
 // off); enq is the admission timestamp (trace.Now) of externally submitted
 // tasks, consumed by the scheduler's admission-wait histogram at take time.
+// gepoch is the group's cancellation epoch observed at admission
+// (enqueueLocked, under admitMu); takeInjected revokes the node instead of
+// running it when the stamp has gone stale (see cancel.go). Interior spawns
+// never read it.
 type node struct {
-	task  Task
-	r     int
-	group *Group
-	tid   uint64
-	enq   int64
+	task   Task
+	r      int
+	group  *Group
+	tid    uint64
+	enq    int64
+	gepoch uint64
 }
 
 // funcTask adapts a function to the Task interface.

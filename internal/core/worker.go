@@ -170,6 +170,9 @@ func (w *worker) loop() {
 	}
 	s := w.sched
 	for !s.done.Load() {
+		if f := s.opts.Fault; f != nil {
+			f(FaultWorkerLoop, w.id)
+		}
 		if w.coordp() != w {
 			w.setState(trace.StateMember)
 			w.memberStep()

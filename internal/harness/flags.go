@@ -98,11 +98,20 @@ const (
 	// MixAnalytics issues analytics requests (the Runtime query operators:
 	// filter, groupby, aggregate, topk, join, plan).
 	MixAnalytics
+	// MixAbandon splits the clients into latency-sensitive interactive
+	// sorters and batch clients whose large SortManyCtx batches are
+	// abandoned on a deadline — the cancellation/graceful-degradation
+	// scenario: interactive tail latency must survive a batch flood that
+	// keeps giving up.
+	MixAbandon
 )
 
 func (m Mix) String() string {
-	if m == MixAnalytics {
+	switch m {
+	case MixAnalytics:
 		return "analytics"
+	case MixAbandon:
+		return "abandon"
 	}
 	return "sort"
 }
@@ -114,6 +123,8 @@ func ParseMix(s string) (Mix, error) {
 		return MixSort, nil
 	case "analytics", "query", "queries":
 		return MixAnalytics, nil
+	case "abandon", "cancel", "abandonment":
+		return MixAbandon, nil
 	}
-	return 0, fmt.Errorf("harness: unknown mix %q (want sort|analytics)", s)
+	return 0, fmt.Errorf("harness: unknown mix %q (want sort|analytics|abandon)", s)
 }

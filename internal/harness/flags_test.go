@@ -57,6 +57,7 @@ func TestParseMix(t *testing.T) {
 	for s, want := range map[string]Mix{
 		"sort": MixSort, "": MixSort, " Sorts ": MixSort,
 		"analytics": MixAnalytics, "QUERIES": MixAnalytics, "query": MixAnalytics,
+		"abandon": MixAbandon, "Cancel": MixAbandon,
 	} {
 		got, err := ParseMix(s)
 		if err != nil {
@@ -69,7 +70,7 @@ func TestParseMix(t *testing.T) {
 	if _, err := ParseMix("mixed"); err == nil {
 		t.Fatal("ParseMix accepted an unknown mix")
 	}
-	if MixSort.String() != "sort" || MixAnalytics.String() != "analytics" {
+	if MixSort.String() != "sort" || MixAnalytics.String() != "analytics" || MixAbandon.String() != "abandon" {
 		t.Fatal("Mix.String labels changed")
 	}
 }

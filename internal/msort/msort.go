@@ -161,7 +161,9 @@ func (t *msSeqMerge[T]) Run(c *core.Ctx) {
 	st, a, b, out, parent := t.st, t.a, t.b, t.out, t.parent
 	t.a, t.b, t.out, t.parent = nil, nil, nil, nil
 	st.mergePool.Put(t)
-	mergeRange(a, b, out, 0, len(out))
+	if !c.Canceled() {
+		mergeRange(a, b, out, 0, len(out))
+	}
 	if parent != nil {
 		parent.childDone(c)
 	}
@@ -181,7 +183,13 @@ func (t *msTeamMerge[T]) Run(c *core.Ctx) {
 	w, lid := c.TeamSize(), c.LocalID()
 	n := len(t.out)
 	lo, hi := lid*n/w, (lid+1)*n/w
-	mergeRange(t.a, t.b, t.out, lo, hi)
+	// On cancellation each member skips its merge chunk but still reaches
+	// the barrier — members may disagree on the racy check, which only
+	// affects how much of the abandoned output gets written, never the
+	// barrier count.
+	if !c.Canceled() {
+		mergeRange(t.a, t.b, t.out, lo, hi)
+	}
 	c.Barrier() // the merge is complete once all chunks are written
 	if lid == 0 && t.parent != nil {
 		t.parent.childDone(c)
@@ -221,6 +229,13 @@ func (t *msSortTask[T]) Run(ctx *core.Ctx) {
 // expressed as a loop).
 func (st *msState[T]) sortRun(ctx *core.Ctx, src, tmp []T, toTmp bool, parent *mergeNode[T]) {
 	for {
+		if ctx.Canceled() {
+			// Cooperative cancellation: stop splitting. The pending merge
+			// nodes above this range are simply never completed — nothing
+			// waits on a mergeNode (merges are spawned by the last child, not
+			// joined), so the group drains and the range stays unsorted.
+			return
+		}
 		n := len(src)
 		if n <= st.opt.Cutoff {
 			qsort.Introsort(src)

@@ -83,6 +83,11 @@ func (fp *ForkPool[T]) Run(ctx *core.Ctx, data []T) {
 func (fp *ForkPool[T]) run(ctx *core.Ctx, data []T) {
 	cutoff := fp.cutoff
 	for len(data) > cutoff {
+		if ctx.Canceled() {
+			// Cooperative cancellation: stop partitioning and spawning; the
+			// abandoned range stays unsorted (its client gave up on it).
+			return
+		}
 		s := HoarePartition(data)
 		left := data[:s]
 		data = data[s:]

@@ -131,9 +131,12 @@ func (t *mmTask[T]) Run(ctx *core.Ctx) {
 }
 
 // spawnPart spawns one partitioned subsequence with the thread requirement
-// chosen by getBestNp (Algorithm 11 lines 6–7).
+// chosen by getBestNp (Algorithm 11 lines 6–7). The cancellation check sits
+// here — on local id 0's single-member spawn path, never inside the
+// collective phases — so a canceled sort stops growing its tree without
+// desynchronizing the team's fan-in.
 func (t *mmTask[T]) spawnPart(ctx *core.Ctx, part []T) {
-	if len(part) < 2 {
+	if len(part) < 2 || ctx.Canceled() {
 		return
 	}
 	np := BestNp(len(part), t.opt.BlockSize, t.opt.MinBlocksPerThread,
@@ -146,6 +149,9 @@ func (t *mmTask[T]) spawnPart(ctx *core.Ctx, part []T) {
 }
 
 func (t *mmTask[T]) spawnFork(ctx *core.Ctx, part []T) {
+	if ctx.Canceled() {
+		return // cooperative cancellation: see spawnPart
+	}
 	t.fp.Spawn(ctx, part)
 }
 

@@ -246,7 +246,10 @@ func (t *task[T]) Run(ctx *core.Ctx) {
 // or below the cutoff are sorted sequentially.
 func (t *task[T]) spawnBucket(ctx *core.Ctx, part, scratch []T) {
 	m := len(part)
-	if m < 2 {
+	if m < 2 || ctx.Canceled() {
+		// Cooperative cancellation, checked on member 0's spawn path only
+		// (never inside the barrier-synchronized phases above): a canceled
+		// sort stops recursing and leaves its buckets unsorted.
 		return
 	}
 	if m <= t.opt.Cutoff {
@@ -267,6 +270,9 @@ func (t *task[T]) spawnBucket(ctx *core.Ctx, part, scratch []T) {
 }
 
 func (t *task[T]) spawnFork(ctx *core.Ctx, part []T) {
+	if ctx.Canceled() {
+		return // cooperative cancellation: see spawnBucket
+	}
 	t.fp.Spawn(ctx, part)
 }
 

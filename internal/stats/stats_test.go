@@ -162,8 +162,8 @@ func TestAdmissionSnapshotExhaustive(t *testing.T) {
 		name := st.Field(i).Name
 		got := sv.Field(i).Int()
 		if name == "Pending" {
-			if want := snap.Injected - snap.Taken; got != want {
-				t.Fatalf("Pending = %d, want Injected−Taken = %d", got, want)
+			if want := snap.Injected - snap.Taken - snap.Revoked; got != want {
+				t.Fatalf("Pending = %d, want Injected−Taken−Revoked = %d", got, want)
 			}
 			covered++
 			continue

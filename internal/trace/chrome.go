@@ -226,6 +226,8 @@ func chromeCat(k Kind) string {
 		return "steal"
 	case EvGroupDone:
 		return "group"
+	case EvGroupCancel, EvDeadlineFire, EvInjectRevoke:
+		return "cancel"
 	case EvTeamFixed, EvPublish, EvPickup, EvExecDone:
 		return "team"
 	case EvQuiesceScan:

@@ -32,6 +32,12 @@ const (
 	EvInjectEnqueue             // external admission (admission ring); X = group id
 	EvInjectTake                // admitted task taken; X = group id, Arg = task trace id
 	EvGroupDone                 // group in-flight count hit zero; X = group id
+	// Cancellation (see internal/core's cancel.go). Cancel and deadline-fire
+	// land on the admission ring (recorded under the admission lock); the
+	// revoke lands on the revoking worker's ring.
+	EvGroupCancel  // group canceled; X = group id
+	EvDeadlineFire // group deadline fired, canceling it; X = group id
+	EvInjectRevoke // admitted task revoked at take time; X = group id, Arg = task trace id
 	// Team lifecycle.
 	EvTeamFixed    // coordinator fixed a team; X = size, Arg = epoch
 	EvPublish      // team execution published; X = size, Arg = generation
@@ -60,6 +66,7 @@ const (
 var kindNames = [NumKinds]string{
 	"spawn", "start", "done", "steal-attempt", "steal",
 	"inject-enqueue", "inject-take", "group-done",
+	"group-cancel", "deadline-fire", "inject-revoke",
 	"team-fixed", "publish", "pickup", "exec-done",
 	"barrier-enter", "barrier-leave",
 	"park", "unpark", "quiesce-scan",

@@ -76,6 +76,12 @@ var (
 	ErrSaturated = core.ErrSaturated
 	// ErrShutdown reports a submission to a shut-down scheduler.
 	ErrShutdown = core.ErrShutdown
+	// ErrCanceled is the cancellation cause of Group.Cancel(nil) and of
+	// contexts canceled without a deadline (Group.BindContext, SortManyCtx).
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded reports a fired group deadline: Group.Deadline
+	// passed, a bound context timed out, or a blocking spawn parked past it.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // NewScheduler starts a scheduler with opts.P workers (default NumCPU).

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -301,6 +303,22 @@ type BatchOptions struct {
 // Concurrent SortMany calls (and concurrent Sort* calls) proceed
 // independently.
 func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
+	// Background has a nil Done channel, so the context plumbing below is
+	// free: BindContext is a no-op and no watcher goroutine is started.
+	r.SortManyCtx(context.Background(), reqs, opt)
+}
+
+// SortManyCtx is SortMany under a context: the whole batch runs as one
+// cancelable group bound to ctx. If ctx is canceled (or its deadline
+// passes) mid-batch, root tasks that have not started are revoked at take
+// time without running, tasks already running abandon their remaining
+// recursion cooperatively, and SortManyCtx returns ErrCanceled or
+// ErrDeadlineExceeded once the group has truly drained. On error the
+// request slices are left partially sorted — a canceled batch's data must
+// be treated as garbage by the caller. A nil error means every request was
+// fully sorted. Abandoned batches still observe their (truncated) latency
+// in the runtime metrics.
+func (r *Runtime[T]) SortManyCtx(ctx context.Context, reqs []SortRequest[T], opt BatchOptions) error {
 	maxTeam := r.s.MaxTeam()
 	ts := make([]core.Task, 0, len(reqs))
 	var perAlgo [numSortAlgos]uint64
@@ -323,7 +341,16 @@ func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
 		}
 	}
 	if len(ts) == 0 {
-		return
+		// Nothing to sort. Still honor an already-dead context, with the
+		// same typed errors a non-empty batch would report.
+		switch err := ctx.Err(); {
+		case err == nil:
+			return nil
+		case errors.Is(err, context.DeadlineExceeded):
+			return ErrDeadlineExceeded
+		default:
+			return ErrCanceled
+		}
 	}
 	r.m.init(r.s.P())
 	for a, n := range perAlgo {
@@ -331,8 +358,18 @@ func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
 	}
 	shard, t0 := int(r.m.rr.Add(1)), time.Now()
 	g := r.s.NewGroup()
-	g.SpawnBatch(ts)
-	g.Wait()
+	stop := g.BindContext(ctx)
+	defer stop()
+	// A failed SpawnBatch (cancellation mid-admission, or shutdown) leaves
+	// its admitted prefix in flight; WaitErr still waits for the true drain
+	// and reports how the group ended. The spawn error wins only when the
+	// drain itself reports nothing (e.g. the prefix drained before a
+	// post-admission shutdown was observed).
+	serr := g.SpawnBatch(ts)
+	err := g.WaitErr()
+	if err == nil {
+		err = serr
+	}
 	// Each request of the batch completes (as observed by the caller) when
 	// the whole group drains, so the batch duration is every request's
 	// end-to-end latency.
@@ -343,4 +380,5 @@ func (r *Runtime[T]) SortMany(reqs []SortRequest[T], opt BatchOptions) {
 			r.m.inflight[a].Add(-int64(n))
 		}
 	}
+	return err
 }

@@ -39,6 +39,13 @@ echo "check: bounded-queue throughput smoke (admission backpressure end to end)"
 go run ./cmd/throughput -clients 8 -max-pending 2 -max-inject 8 -duration 300ms \
   -sizes 65536 -dists random -algos mmpar,fork > /dev/null
 
+echo "check: chaos smoke (fault injection + cancel storm, invariants checked per round)"
+go run ./cmd/stress -p 4 -rounds 8 -tasks 120 -chaos -seed 1 > /dev/null
+
+echo "check: abandon-mix smoke (deadline-abandoned batches vs interactive sorts)"
+go run ./cmd/throughput -mix abandon -clients 6 -duration 400ms -abandon-after 3ms \
+  -sizes 16384,262144 -dists random -algos mmpar,msort -max-inject 32 > /dev/null
+
 echo "check: metrics exposition smoke (/metrics scraped mid-run)"
 metricsdir=$(mktemp -d)
 tp_pid=""
@@ -69,7 +76,7 @@ if [[ -z "${addr}" ]]; then
   exit 1
 fi
 "${metricsdir}/metricscheck" -retry 5s -monotonic 1s \
-  -require repro_sched_steals_total,repro_sched_inject_takes_total,repro_sched_quiesce_scans_total,repro_admission_injected_total,repro_admission_wait_seconds_count,repro_uptime_seconds,repro_worker_state_samples_total,repro_trace_events_total,repro_group_pending_sorts,repro_sort_latency_seconds_bucket \
+  -require repro_sched_steals_total,repro_sched_inject_takes_total,repro_sched_quiesce_scans_total,repro_admission_injected_total,repro_admission_wait_seconds_count,repro_uptime_seconds,repro_worker_state_samples_total,repro_trace_events_total,repro_group_pending_sorts,repro_sort_latency_seconds_bucket,repro_canceled_total,repro_revoked_total,repro_spawn_timeouts_total \
   "http://${addr}/metrics"
 wait "${tp_pid}"
 tp_pid=""

@@ -16,8 +16,10 @@ failures=0
 fuzzRegex='^func[[:space:]]+Fuzz[A-Za-z0-9_]+'
 missing=()
 
-# internal/core carries FuzzGroup (per-group quiescence) and FuzzAdmission
-# (bounded inject queues: fairness + bound invariants under random floods);
+# internal/core carries FuzzGroup (per-group quiescence), FuzzAdmission
+# (bounded inject queues: fairness + bound invariants under random floods)
+# and FuzzCancel (random spawn/cancel/deadline/reset schedules: WaitErr
+# agrees with the canceled state, inflight reconciles, counters balance);
 # internal/stats carries FuzzPercentile (nearest-rank vs brute-force oracle);
 # internal/query carries FuzzFilter/FuzzGroupBy/FuzzMergeJoin/FuzzPlan
 # (analytics operators and random plans vs their sequential oracles).
